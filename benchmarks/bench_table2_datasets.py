@@ -1,0 +1,43 @@
+"""Table 2 bench: dataset stand-in generation and statistics.
+
+The paper's Table 2 is a statistics table; the operations behind it are
+graph generation, SCC condensation, and the shortest-path sweep.  This
+bench times each stage per dataset family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import spec
+from repro.graph.scc import condensation
+from repro.graph.stats import shortest_path_stats
+
+from conftest import SCALE, graph_for
+
+
+def test_generate_dataset(benchmark, dataset_name):
+    """Synthetic stand-in generation (one full dataset build)."""
+    s = spec(dataset_name)
+    result = benchmark(lambda: s.build(scale=SCALE))
+    assert result.n > 0
+    benchmark.extra_info["n"] = result.n
+    benchmark.extra_info["m"] = result.m
+
+
+def test_condensation(benchmark, dataset_name):
+    """SCC condensation (the |V_DAG| / |E_DAG| columns)."""
+    g = graph_for(dataset_name)
+    cond = benchmark(lambda: condensation(g))
+    benchmark.extra_info["n_dag"] = cond.dag.n
+    benchmark.extra_info["m_dag"] = cond.dag.m
+
+
+def test_distance_stats(benchmark, dataset_name):
+    """Sampled diameter and µ (the d / µ columns)."""
+    g = graph_for(dataset_name)
+    rng = np.random.default_rng(5)
+    d, mu = benchmark(
+        lambda: shortest_path_stats(g, sample_size=min(g.n, 200), rng=rng)
+    )
+    benchmark.extra_info["d"] = d
+    benchmark.extra_info["mu"] = mu

@@ -1,0 +1,34 @@
+"""Table 3 bench: index construction time for n-reach vs the comparators.
+
+Paper shape: GRAIL and PWAH build fastest, n-reach beats PTree everywhere,
+and the chain-cover (3-hop) blows its budget on the hub-heavy metabolic
+datasets (rendered as '-' in the paper, a skip here).
+"""
+
+import pytest
+
+from repro.baselines import ChainCoverIndex, GrailIndex, PathTreeIndex, PwahIndex
+from repro.baselines.base import IndexBudgetExceeded
+from repro.core import KReachIndex
+
+from conftest import graph_for
+
+INDEX_FACTORIES = {
+    "n-reach": lambda g: KReachIndex(g, None),
+    "PTree": PathTreeIndex,
+    "3-hop": lambda g: ChainCoverIndex(g, max_label_entries=64 * g.n),
+    "GRAIL": lambda g: GrailIndex(g, num_labels=3, seed=11),
+    "PWAH": PwahIndex,
+}
+
+
+@pytest.mark.parametrize("index_name", INDEX_FACTORIES)
+def test_construction(benchmark, dataset_name, index_name):
+    """One full index build (the paper's Table 3 cell)."""
+    g = graph_for(dataset_name)
+    factory = INDEX_FACTORIES[index_name]
+    try:
+        index = benchmark(lambda: factory(g))
+    except IndexBudgetExceeded as exc:
+        pytest.skip(f"budget exceeded (paper's '-'): {exc}")
+    benchmark.extra_info["storage_bytes"] = index.storage_bytes()

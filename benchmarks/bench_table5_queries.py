@@ -1,0 +1,53 @@
+"""Table 5 bench: classic-reachability query throughput per index.
+
+The paper's headline: n-reach answers fastest on almost every dataset,
+with GRAIL orders of magnitude behind on its bad datasets (aMaze, Kegg).
+Each benchmark pushes the same pre-generated random workload through one
+index, timing the whole batch.
+"""
+
+import pytest
+
+from repro.baselines import ChainCoverIndex, GrailIndex, PathTreeIndex, PwahIndex
+from repro.baselines.base import IndexBudgetExceeded
+
+from conftest import QUERIES, cached_index, graph_for, kreach_for, pairs_for
+
+COMPARATORS = {
+    "GRAIL": lambda g: GrailIndex(g, num_labels=3, seed=11),
+    "PWAH": PwahIndex,
+    "PTree": PathTreeIndex,
+    "3-hop": lambda g: ChainCoverIndex(g, max_label_entries=64 * g.n),
+}
+
+
+def _run_batch(query, pairs):
+    hits = 0
+    for s, t in pairs:
+        if query(s, t):
+            hits += 1
+    return hits
+
+
+def test_nreach_queries(benchmark, dataset_name):
+    """n-reach (ours) on the Table 5 workload."""
+    index = kreach_for(dataset_name, None)
+    pairs = [(int(s), int(t)) for s, t in pairs_for(dataset_name)]
+    hits = benchmark(_run_batch, index.query, pairs)
+    benchmark.extra_info["queries"] = QUERIES
+    benchmark.extra_info["positives"] = hits
+
+
+@pytest.mark.parametrize("index_name", COMPARATORS)
+def test_comparator_queries(benchmark, dataset_name, index_name):
+    """Each comparator on the identical workload."""
+    g = graph_for(dataset_name)
+    try:
+        index = cached_index(
+            ("t5", index_name, dataset_name), lambda: COMPARATORS[index_name](g)
+        )
+    except IndexBudgetExceeded as exc:
+        pytest.skip(f"budget exceeded (paper's '-'): {exc}")
+    pairs = [(int(s), int(t)) for s, t in pairs_for(dataset_name)]
+    hits = benchmark(_run_batch, index.reaches, pairs)
+    benchmark.extra_info["positives"] = hits

@@ -1,0 +1,66 @@
+"""Table 7 bench: k-reach across k = 2, 4, 6, µ, n vs µ-BFS and µ-dist.
+
+Paper shape: k-reach's query time is flat in k; µ-BFS is 2-3 orders of
+magnitude slower; the distance index (µ-dist, here PLL) sits 1-2 orders
+above k-reach.  µ is each stand-in's measured median shortest-path length.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BfsIndex, PrunedLandmarkIndex
+from repro.graph.stats import shortest_path_stats
+
+from conftest import SLOW_QUERIES, cached_index, graph_for, kreach_for, pairs_for
+
+#: A metabolic, a giant-SCC, and a citation dataset keep this bench short.
+T7_DATASETS = ("AgroCyc", "aMaze", "ArXiv")
+
+
+def mu_for(name: str) -> int:
+    def compute():
+        g = graph_for(name)
+        _, mu = shortest_path_stats(
+            g, sample_size=min(g.n, 200), rng=np.random.default_rng(5)
+        )
+        return max(2, mu)
+
+    return cached_index(("mu", name), compute)
+
+
+def _run_batch(query, pairs):
+    for s, t in pairs:
+        query(s, t)
+
+
+@pytest.mark.parametrize("name", T7_DATASETS)
+@pytest.mark.parametrize("k_label", ["2", "4", "6", "mu", "n"])
+def test_kreach_query_flat_in_k(benchmark, name, k_label):
+    """k-reach query batch for one k (the Table 7 row cells)."""
+    k = {"2": 2, "4": 4, "6": 6, "mu": mu_for(name), "n": None}[k_label]
+    index = kreach_for(name, k)
+    pairs = [(int(s), int(t)) for s, t in pairs_for(name)]
+    benchmark(_run_batch, index.query, pairs)
+    benchmark.extra_info["k"] = "inf" if k is None else k
+
+
+@pytest.mark.parametrize("name", T7_DATASETS)
+def test_mu_bfs(benchmark, name):
+    """µ-hop BFS — the index-free baseline (subsampled workload)."""
+    g = graph_for(name)
+    mu = mu_for(name)
+    bfs = BfsIndex(g)
+    pairs = [(int(s), int(t)) for s, t in pairs_for(name, SLOW_QUERIES)]
+    benchmark(_run_batch, lambda s, t: bfs.reaches_within(s, t, mu), pairs)
+    benchmark.extra_info["queries"] = len(pairs)
+
+
+@pytest.mark.parametrize("name", T7_DATASETS)
+def test_mu_dist(benchmark, name):
+    """µ-dist — the distance-index route (PLL stand-in, §3.5)."""
+    g = graph_for(name)
+    mu = mu_for(name)
+    dist = cached_index(("pll", name), lambda: PrunedLandmarkIndex(g))
+    pairs = [(int(s), int(t)) for s, t in pairs_for(name, SLOW_QUERIES)]
+    benchmark(_run_batch, lambda s, t: dist.reaches_within(s, t, mu), pairs)
+    benchmark.extra_info["queries"] = len(pairs)

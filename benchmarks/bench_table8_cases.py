@@ -1,0 +1,42 @@
+"""Table 8 bench: the per-case query mix and per-case cost.
+
+Table 8 reports how random queries distribute over Algorithm 2's four
+cases; §6.3.2 adds that Case 4 costs ~12x Case 1.  The benches time
+(a) case classification of a whole workload and (b) query batches
+restricted to each case.
+"""
+
+import pytest
+
+from repro.workloads import case_distribution
+
+from conftest import graph_for, kreach_for, pairs_for
+
+
+def test_case_classification(benchmark, dataset_name):
+    """Classifying the whole workload by case (pure cover lookups)."""
+    index = kreach_for(dataset_name, 6)
+    pairs = pairs_for(dataset_name)
+    dist = benchmark(case_distribution, index, pairs)
+    for case in (1, 2, 3, 4):
+        benchmark.extra_info[f"case{case}_pct"] = round(100 * dist[case], 2)
+
+
+@pytest.mark.parametrize("case", [1, 2, 3, 4])
+def test_per_case_query_cost(benchmark, dataset_name, case):
+    """Query batches restricted to one case (the 12x claim of §6.3.2)."""
+    index = kreach_for(dataset_name, 6)
+    bucket = [
+        (int(s), int(t))
+        for s, t in pairs_for(dataset_name)
+        if index.query_case(int(s), int(t)) == case
+    ]
+    if len(bucket) < 5:
+        pytest.skip(f"case {case} has too few queries on {dataset_name}")
+
+    def run():
+        for s, t in bucket:
+            index.query(s, t)
+
+    benchmark(run)
+    benchmark.extra_info["bucket_size"] = len(bucket)

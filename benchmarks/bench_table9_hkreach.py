@@ -1,0 +1,73 @@
+"""Table 9 bench: the (h,k)-reach indexing/querying tradeoff.
+
+Paper shape: the 2-hop vertex cover is 20-45% smaller than the vertex
+cover, shrinking the index, while (2,µ)-reach queries run ~3-4x slower
+than µ-reach — the §5 tradeoff.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HKReachIndex, KReachIndex
+from repro.core.vertex_cover import hhop_vertex_cover, vertex_cover_2approx
+from repro.graph.stats import shortest_path_stats
+
+from conftest import cached_index, graph_for, pairs_for
+
+#: Table 9's datasets intersected with our per-family picks.
+T9_DATASETS = ("AgroCyc", "aMaze", "Nasa")
+
+
+def mu_for(name: str) -> int:
+    def compute():
+        g = graph_for(name)
+        _, mu = shortest_path_stats(
+            g, sample_size=min(g.n, 200), rng=np.random.default_rng(5)
+        )
+        return max(2, mu)
+
+    return cached_index(("mu", name), compute)
+
+
+@pytest.mark.parametrize("name", T9_DATASETS)
+def test_vertex_cover_construction(benchmark, name):
+    """The 2-approximate vertex cover (k-reach's substrate)."""
+    g = graph_for(name)
+    cover = benchmark(lambda: vertex_cover_2approx(g))
+    benchmark.extra_info["cover_size"] = len(cover)
+
+
+@pytest.mark.parametrize("name", T9_DATASETS)
+def test_2hop_cover_construction(benchmark, name):
+    """The 3-approximate 2-hop vertex cover ((2,k)-reach's substrate)."""
+    g = graph_for(name)
+    cover = benchmark(lambda: hhop_vertex_cover(g, 2))
+    benchmark.extra_info["cover_size"] = len(cover)
+
+
+def _run_batch(query, pairs):
+    for s, t in pairs:
+        query(s, t)
+
+
+@pytest.mark.parametrize("name", T9_DATASETS)
+def test_mu_reach_queries(benchmark, name):
+    """µ-reach query batch (the baseline side of Table 9)."""
+    g = graph_for(name)
+    index = cached_index(("t9-kreach", name), lambda: KReachIndex(g, mu_for(name)))
+    pairs = [(int(s), int(t)) for s, t in pairs_for(name)]
+    benchmark(_run_batch, index.query, pairs)
+    benchmark.extra_info["cover_size"] = index.cover_size
+
+
+@pytest.mark.parametrize("name", T9_DATASETS)
+def test_2mu_reach_queries(benchmark, name):
+    """(2,µ)-reach query batch (the tradeoff side of Table 9)."""
+    g = graph_for(name)
+    index = cached_index(
+        ("t9-hkreach", name),
+        lambda: HKReachIndex(g, 2, mu_for(name), strict=False),
+    )
+    pairs = [(int(s), int(t)) for s, t in pairs_for(name)]
+    benchmark(_run_batch, index.query, pairs)
+    benchmark.extra_info["cover_size"] = index.cover_size

@@ -1,0 +1,66 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Benchmarks regenerate the paper's tables at reduced scale (see DESIGN.md
+§3 for the experiment index; `python -m repro.cli` runs the same
+experiments at arbitrary scale with paper-vs-measured reporting).  Graphs,
+workloads and prebuilt indexes are cached per session so each benchmark
+times only its own operation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import KReachIndex
+from repro.datasets import load
+from repro.workloads import random_pairs
+
+#: Scale and workload sizes chosen so the full benchmark suite runs in a
+#: few minutes of pure Python.
+SCALE = 0.05
+QUERIES = 2_000
+SLOW_QUERIES = 200  # for the online-BFS baselines
+
+#: One dataset per structural family (metabolic, giant-SCC metabolic,
+#: citation DAG, deep XML, shallow semantic).
+FAMILY_DATASETS = ("AgroCyc", "aMaze", "ArXiv", "Nasa", "YAGO")
+
+_graphs: dict[str, object] = {}
+_pairs: dict[str, np.ndarray] = {}
+_indexes: dict[tuple, object] = {}
+
+
+def graph_for(name: str):
+    """Session-cached dataset stand-in."""
+    if name not in _graphs:
+        _graphs[name] = load(name, scale=SCALE)
+    return _graphs[name]
+
+
+def pairs_for(name: str, count: int = QUERIES) -> np.ndarray:
+    """Session-cached query workload."""
+    key = name
+    if key not in _pairs:
+        g = graph_for(name)
+        _pairs[key] = random_pairs(g.n, QUERIES, rng=np.random.default_rng(11))
+    return _pairs[key][:count]
+
+
+def cached_index(key: tuple, factory):
+    """Session-cached index instance (so query benches skip build cost)."""
+    if key not in _indexes:
+        _indexes[key] = factory()
+    return _indexes[key]
+
+
+def kreach_for(name: str, k):
+    """Session-cached KReachIndex."""
+    return cached_index(
+        ("kreach", name, k), lambda: KReachIndex(graph_for(name), k)
+    )
+
+
+@pytest.fixture(params=FAMILY_DATASETS)
+def dataset_name(request) -> str:
+    return request.param

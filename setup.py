@@ -1,0 +1,5 @@
+"""Legacy setuptools shim (the runtime environment lacks the `wheel` package,
+so PEP-517 editable builds are unavailable; metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

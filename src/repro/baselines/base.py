@@ -1,0 +1,68 @@
+"""Common protocol for reachability and k-hop indexes.
+
+The benchmark harness treats every index uniformly: build it (timed),
+measure :meth:`storage_bytes`, then fire a query workload at
+:meth:`reaches` (classic reachability, Tables 3–6) or
+:meth:`reaches_within` (k-hop, Table 7).
+
+An index that supports only classic reachability (every comparator in the
+paper) raises :class:`UnsupportedQueryError` from :meth:`reaches_within` —
+mirroring the paper's §3 argument that those index families *cannot* answer
+k-hop queries.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["ReachabilityIndex", "UnsupportedQueryError", "IndexBudgetExceeded"]
+
+
+class UnsupportedQueryError(NotImplementedError):
+    """The index family cannot answer this query type (paper §3)."""
+
+
+class IndexBudgetExceeded(RuntimeError):
+    """Construction aborted: the index exceeded its size/time budget.
+
+    The paper reports "-" for 3-hop on most datasets because construction
+    ran out of time or memory; the harness reproduces that behavior by
+    letting indexes declare a budget and giving up loudly.
+    """
+
+
+class ReachabilityIndex(abc.ABC):
+    """Abstract base for all indexes in :mod:`repro.baselines`.
+
+    Subclasses build their structures in ``__init__`` (so wall-clock
+    construction time is just the constructor call) and must implement
+    :meth:`reaches`.
+    """
+
+    #: Short name used in benchmark tables ("GRAIL", "PWAH", ...).
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.graph = graph
+
+    @abc.abstractmethod
+    def reaches(self, s: int, t: int) -> bool:
+        """Classic reachability: does a directed path from s to t exist?"""
+
+    def reaches_within(self, s: int, t: int, k: int) -> bool:
+        """k-hop reachability; unsupported by classic-only index families."""
+        raise UnsupportedQueryError(
+            f"{type(self).__name__} answers classic reachability only (paper §3)"
+        )
+
+    @abc.abstractmethod
+    def storage_bytes(self) -> int:
+        """Modeled on-disk size of the index structures (not the graph)."""
+
+    def _check_pair(self, s: int, t: int) -> None:
+        n = self.graph.n
+        if not 0 <= s < n or not 0 <= t < n:
+            raise ValueError(f"query vertex out of range [0, {n})")

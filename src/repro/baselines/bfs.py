@@ -1,0 +1,44 @@
+"""Online BFS baselines (no precomputation).
+
+``k``-hop BFS is the naive algorithm the paper's introduction argues
+against ("a BFS from a celebrity … is clearly out of the question for
+online query processing") and the µ-BFS column of Table 7.  It is also the
+ground-truth oracle for the entire test suite.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ReachabilityIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import reaches_within_bfs
+
+__all__ = ["BfsIndex"]
+
+
+class BfsIndex(ReachabilityIndex):
+    """Query-time BFS; zero construction cost, zero storage.
+
+    Supports both classic and k-hop queries (BFS trivially handles both),
+    which is exactly why it appears in Table 7 as the index-free baseline.
+    """
+
+    name = "BFS"
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+
+    def reaches(self, s: int, t: int) -> bool:
+        """Unbounded BFS from ``s`` with early exit at ``t``."""
+        self._check_pair(s, t)
+        return reaches_within_bfs(self.graph, s, t, None)
+
+    def reaches_within(self, s: int, t: int, k: int) -> bool:
+        """BFS truncated at ``k`` levels, early exit at ``t``."""
+        self._check_pair(s, t)
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return reaches_within_bfs(self.graph, s, t, k)
+
+    def storage_bytes(self) -> int:
+        """No index structures at all."""
+        return 0

@@ -1,0 +1,78 @@
+"""Full transitive closure over the SCC condensation (§3.6).
+
+The "other extreme" of the indexing/querying tradeoff (§5): O(1) queries
+at O(n²)-bit worst-case storage.  Computed on the condensation DAG — as
+the paper notes, TC-style indexes "work only on the much smaller DAG of
+the input graph", which is precisely why they cannot answer k-hop queries
+(§3.1) but remain the exact oracle for classic reachability.
+
+Rows are kept as Python big-ints (arbitrary-precision bitmasks).  Because
+Tarjan numbers components in reverse topological order, every successor of
+component ``c`` has an id ``< c``; sweeping ids in increasing order makes
+the closure a single OR-accumulation pass, and keeps each row's bitmask no
+wider than its own id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ReachabilityIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condensation
+
+__all__ = ["TransitiveClosureIndex"]
+
+
+class TransitiveClosureIndex(ReachabilityIndex):
+    """Exact reachability with one-bit-per-DAG-pair storage.
+
+    >>> from repro.graph.generators import path_graph
+    >>> tc = TransitiveClosureIndex(path_graph(4))
+    >>> tc.reaches(0, 3), tc.reaches(3, 0)
+    (True, False)
+    """
+
+    name = "TC"
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+        cond = condensation(graph)
+        self._comp = cond.component_of
+        dag = cond.dag
+        # closure[c] = bitmask of components reachable from c (excluding c).
+        closure: list[int] = [0] * dag.n
+        for c in range(dag.n):  # increasing id = reverse topological order
+            acc = 0
+            for child in dag.out_neighbors(c):
+                child = int(child)
+                acc |= closure[child] | (1 << child)
+            closure[c] = acc
+        self._closure = closure
+
+    def reaches(self, s: int, t: int) -> bool:
+        """O(1) bit probe after the component lookup."""
+        self._check_pair(s, t)
+        cs, ct = int(self._comp[s]), int(self._comp[t])
+        if cs == ct:
+            return True  # same SCC: mutually reachable
+        return bool((self._closure[cs] >> ct) & 1)
+
+    def reachable_count(self, s: int) -> int:
+        """How many vertices ``s`` reaches (including itself) — test helper."""
+        cs = int(self._comp[s])
+        sizes = np.bincount(self._comp, minlength=len(self._closure))
+        total = int(sizes[cs])
+        mask = self._closure[cs]
+        c = 0
+        while mask:
+            if mask & 1:
+                total += int(sizes[c])
+            mask >>= 1
+            c += 1
+        return total
+
+    def storage_bytes(self) -> int:
+        """Sum of row bitmask extents plus the component map."""
+        rows = sum((row.bit_length() + 7) // 8 for row in self._closure)
+        return rows + 4 * self.graph.n

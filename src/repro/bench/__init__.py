@@ -1,0 +1,16 @@
+"""Benchmark harness: experiment runners and table rendering."""
+
+from repro.bench.experiments import ALL_EXPERIMENTS, SuiteConfig
+from repro.bench.report import Table
+from repro.bench.runner import BuildOutcome, QueryTiming, build_index, time_queries, timed
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "SuiteConfig",
+    "Table",
+    "BuildOutcome",
+    "QueryTiming",
+    "build_index",
+    "time_queries",
+    "timed",
+]

@@ -1,0 +1,93 @@
+"""Timing primitives for the benchmark harness.
+
+Keeps the experiment code declarative: build an index with a wall-clock
+budget (reproducing the paper's "-" for builds that do not finish), then
+push a query workload through it and normalize to per-query cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.base import IndexBudgetExceeded
+
+__all__ = ["BuildOutcome", "QueryTiming", "timed", "build_index", "time_queries"]
+
+
+@dataclass(frozen=True)
+class BuildOutcome:
+    """Result of constructing one index.
+
+    ``index`` is None when construction failed (budget exceeded) — the
+    harness renders those entries as the paper's "-".
+    """
+
+    name: str
+    seconds: float | None
+    storage_bytes: int | None
+    index: object | None
+    failure: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the index was built successfully."""
+        return self.index is not None
+
+
+@dataclass(frozen=True)
+class QueryTiming:
+    """Aggregate timing of a query batch."""
+
+    seconds: float
+    count: int
+    positives: int
+
+    @property
+    def us_per_query(self) -> float:
+        """Mean microseconds per query."""
+        return 1e6 * self.seconds / max(1, self.count)
+
+    def scaled_ms(self, to_count: int) -> float:
+        """Total milliseconds extrapolated to ``to_count`` queries (the
+        paper reports totals over 1M)."""
+        return 1e3 * self.seconds * to_count / max(1, self.count)
+
+
+def timed(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run ``fn`` once, returning (result, elapsed_seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def build_index(name: str, factory: Callable[[], object]) -> BuildOutcome:
+    """Construct an index, catching declared budget failures."""
+    try:
+        index, seconds = timed(factory)
+    except IndexBudgetExceeded as exc:
+        return BuildOutcome(name, None, None, None, failure=str(exc))
+    storage = index.storage_bytes() if hasattr(index, "storage_bytes") else None
+    return BuildOutcome(name, seconds, storage, index)
+
+
+def time_queries(
+    query: Callable[[int, int], bool], pairs: np.ndarray
+) -> QueryTiming:
+    """Time a batch of boolean point queries.
+
+    The pairs are pre-converted to Python ints so the measured loop pays
+    only the query cost, mirroring the paper's methodology of timing the
+    query phase alone.
+    """
+    plain = [(int(s), int(t)) for s, t in pairs]
+    positives = 0
+    start = time.perf_counter()
+    for s, t in plain:
+        if query(s, t):
+            positives += 1
+    seconds = time.perf_counter() - start
+    return QueryTiming(seconds=seconds, count=len(plain), positives=positives)

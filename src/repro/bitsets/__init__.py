@@ -1,0 +1,7 @@
+"""Bitset substrate: plain bitsets, WAH compression, packed small integers."""
+
+from repro.bitsets.bitset import Bitset
+from repro.bitsets.packed import PackedIntArray, bits_needed
+from repro.bitsets.wah import WahBitVector
+
+__all__ = ["Bitset", "PackedIntArray", "bits_needed", "WahBitVector"]

@@ -1,0 +1,132 @@
+"""Fixed-size bitsets over numpy uint64 words.
+
+Transitive-closure rows (the PWAH baseline and the exact-TC oracle) are
+unions of many successor sets; a word-wise bitset makes that a handful of
+vectorized ORs.  The layout is little-endian within the word: bit ``i``
+lives in word ``i // 64`` at position ``i % 64``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Bitset"]
+
+_WORD_BITS = 64
+
+
+class Bitset:
+    """A mutable fixed-universe bitset.
+
+    Parameters
+    ----------
+    size:
+        Universe size; valid bit positions are ``0 .. size-1``.
+
+    Examples
+    --------
+    >>> b = Bitset(100)
+    >>> b.set(3); b.set(64)
+    >>> b.test(3), b.test(4)
+    (True, False)
+    >>> sorted(b)
+    [3, 64]
+    """
+
+    __slots__ = ("size", "words")
+
+    def __init__(self, size: int, words: np.ndarray | None = None) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self.size = size
+        nwords = (size + _WORD_BITS - 1) // _WORD_BITS
+        if words is None:
+            self.words = np.zeros(nwords, dtype=np.uint64)
+        else:
+            if len(words) != nwords:
+                raise ValueError(f"expected {nwords} words, got {len(words)}")
+            self.words = words.astype(np.uint64, copy=True)
+
+    @classmethod
+    def from_indices(cls, size: int, indices: Iterable[int]) -> "Bitset":
+        """Bitset with exactly the given positions set."""
+        b = cls(size)
+        idx = np.asarray(list(indices), dtype=np.int64)
+        if len(idx):
+            if idx.min() < 0 or idx.max() >= size:
+                raise IndexError("bit position out of range")
+            np.bitwise_or.at(
+                b.words, idx // _WORD_BITS, np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64)
+            )
+        return b
+
+    def _check(self, i: int) -> None:
+        if not 0 <= i < self.size:
+            raise IndexError(f"bit {i} out of range [0, {self.size})")
+
+    def set(self, i: int) -> None:
+        """Set bit ``i``."""
+        self._check(i)
+        self.words[i // _WORD_BITS] |= np.uint64(1) << np.uint64(i % _WORD_BITS)
+
+    def clear(self, i: int) -> None:
+        """Clear bit ``i``."""
+        self._check(i)
+        self.words[i // _WORD_BITS] &= ~(np.uint64(1) << np.uint64(i % _WORD_BITS))
+
+    def test(self, i: int) -> bool:
+        """Whether bit ``i`` is set."""
+        self._check(i)
+        return bool(
+            (self.words[i // _WORD_BITS] >> np.uint64(i % _WORD_BITS)) & np.uint64(1)
+        )
+
+    def union_update(self, other: "Bitset") -> None:
+        """In-place union (``self |= other``)."""
+        if other.size != self.size:
+            raise ValueError("bitset sizes differ")
+        np.bitwise_or(self.words, other.words, out=self.words)
+
+    def intersects(self, other: "Bitset") -> bool:
+        """Whether the two sets share any member."""
+        if other.size != self.size:
+            raise ValueError("bitset sizes differ")
+        return bool(np.any(self.words & other.words))
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return int(np.sum(np.unpackbits(self.words.view(np.uint8))))
+
+    def indices(self) -> np.ndarray:
+        """Sorted array of set positions."""
+        bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
+        return np.flatnonzero(bits[: self.size])
+
+    def copy(self) -> "Bitset":
+        """A deep copy."""
+        out = Bitset(self.size)
+        out.words[:] = self.words
+        return out
+
+    def storage_bytes(self) -> int:
+        """Bytes of the word array."""
+        return int(self.words.nbytes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(i) for i in self.indices())
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __contains__(self, i: int) -> bool:
+        return 0 <= i < self.size and self.test(i)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitset):
+            return NotImplemented
+        return self.size == other.size and bool(np.array_equal(self.words, other.words))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bitset(size={self.size}, count={self.count()})"

@@ -1,0 +1,104 @@
+"""Packed small-integer arrays.
+
+§4.3 of the paper observes that a k-reach edge weight takes one of only
+three values — ``k-2``, ``k-1``, ``k`` — so 2 bits per edge suffice, and the
+(h,k)-reach generalization needs ``ceil(log2(2h+1))`` bits.  This module
+provides the fixed-width packed array the index's storage model is built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PackedIntArray", "bits_needed"]
+
+
+def bits_needed(num_values: int) -> int:
+    """Bits per entry to distinguish ``num_values`` distinct values (>= 1)."""
+    if num_values < 1:
+        raise ValueError(f"num_values must be >= 1, got {num_values}")
+    return max(1, int(num_values - 1).bit_length())
+
+
+class PackedIntArray:
+    """A fixed-length array of ``bits``-wide unsigned integers.
+
+    Entries are packed little-endian into a uint64 word array; random access
+    is O(1).  Values must fit in ``bits`` bits.
+
+    >>> a = PackedIntArray(5, bits=2)
+    >>> a[0] = 3; a[4] = 1
+    >>> a[0], a[1], a[4]
+    (3, 0, 1)
+    >>> a.storage_bytes()  # 5 entries x 2 bits -> 2 bytes
+    2
+    """
+
+    __slots__ = ("length", "bits", "_words", "_mask")
+
+    _WORD_BITS = 64
+
+    def __init__(self, length: int, *, bits: int) -> None:
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        if not 1 <= bits <= 32:
+            raise ValueError(f"bits must be in [1, 32], got {bits}")
+        self.length = length
+        self.bits = bits
+        total_bits = length * bits
+        nwords = (total_bits + self._WORD_BITS - 1) // self._WORD_BITS
+        # One spare word lets a straddling entry read two words unconditionally.
+        self._words = np.zeros(nwords + 1, dtype=np.uint64)
+        self._mask = (1 << bits) - 1
+
+    @classmethod
+    def from_values(cls, values: "list[int] | np.ndarray", *, bits: int) -> "PackedIntArray":
+        """Pack an existing sequence."""
+        arr = cls(len(values), bits=bits)
+        for i, v in enumerate(values):
+            arr[i] = int(v)
+        return arr
+
+    def _locate(self, i: int) -> tuple[int, int]:
+        if not 0 <= i < self.length:
+            raise IndexError(f"index {i} out of range [0, {self.length})")
+        bit = i * self.bits
+        return bit // self._WORD_BITS, bit % self._WORD_BITS
+
+    def __getitem__(self, i: int) -> int:
+        word, offset = self._locate(i)
+        lo = int(self._words[word]) >> offset
+        if offset + self.bits > self._WORD_BITS:
+            hi = int(self._words[word + 1]) << (self._WORD_BITS - offset)
+            lo |= hi
+        return lo & self._mask
+
+    def __setitem__(self, i: int, value: int) -> None:
+        if not 0 <= value <= self._mask:
+            raise ValueError(f"value {value} does not fit in {self.bits} bits")
+        word, offset = self._locate(i)
+        current = int(self._words[word])
+        current &= ~(self._mask << offset) & 0xFFFFFFFFFFFFFFFF
+        current |= (value << offset) & 0xFFFFFFFFFFFFFFFF
+        self._words[word] = np.uint64(current)
+        if offset + self.bits > self._WORD_BITS:
+            spill = self.bits - (self._WORD_BITS - offset)
+            nxt = int(self._words[word + 1])
+            nxt &= ~((1 << spill) - 1)
+            nxt |= value >> (self.bits - spill)
+            self._words[word + 1] = np.uint64(nxt)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def to_list(self) -> list[int]:
+        """Unpack to a plain Python list."""
+        return [self[i] for i in range(self.length)]
+
+    def storage_bytes(self) -> int:
+        """Bytes actually needed: ``ceil(length * bits / 8)`` (the disk model,
+        excluding the spare padding word)."""
+        return (self.length * self.bits + 7) // 8
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PackedIntArray(length={self.length}, bits={self.bits})"

@@ -1,0 +1,109 @@
+"""Command-line entry point regenerating the paper's tables.
+
+Usage::
+
+    python -m repro.cli table2 --scale 0.2
+    python -m repro.cli table3-4-5 --scale 1.0 --queries 100000
+    python -m repro.cli all --scale 0.2 --output results.txt
+    kreach-bench table8            # installed console script
+
+Every experiment accepts ``--scale`` (1.0 = paper-sized graphs),
+``--queries``, ``--datasets`` (comma-separated subset) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS, SuiteConfig
+from repro.bench.report import Table
+from repro.datasets import DATASET_NAMES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="kreach-bench",
+        description="Regenerate the K-Reach paper's tables on synthetic stand-ins.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*ALL_EXPERIMENTS, "all"],
+        help="which table/ablation to run ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.2,
+        help="dataset scale factor; 1.0 = paper-sized graphs (default 0.2)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=20_000,
+        help="random queries per dataset (paper used 1M; default 20000)",
+    )
+    parser.add_argument(
+        "--bfs-queries",
+        type=int,
+        default=1_000,
+        help="query count for the slow online baselines (default 1000)",
+    )
+    parser.add_argument(
+        "--datasets",
+        type=str,
+        default=None,
+        help=f"comma-separated subset of {', '.join(DATASET_NAMES)}",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown instead of ASCII"
+    )
+    parser.add_argument(
+        "--output", type=str, default=None, help="append output to this file"
+    )
+    return parser
+
+
+def _emit(text: str, output: str | None) -> None:
+    print(text)
+    if output:
+        with open(output, "a", encoding="utf-8") as fh:
+            fh.write(text + "\n\n")
+
+
+def _render(result: "Table | tuple[Table, ...]", markdown: bool) -> str:
+    tables = result if isinstance(result, tuple) else (result,)
+    rendered = [t.to_markdown() if markdown else t.render() for t in tables]
+    return "\n\n".join(rendered)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    datasets = DATASET_NAMES
+    if args.datasets:
+        datasets = tuple(name.strip() for name in args.datasets.split(",") if name.strip())
+    config = SuiteConfig(
+        datasets=datasets,
+        scale=args.scale,
+        queries=args.queries,
+        bfs_queries=args.bfs_queries,
+        seed=args.seed,
+    )
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](config)
+        elapsed = time.perf_counter() - start
+        _emit(_render(result, args.markdown), args.output)
+        _emit(f"[{name} finished in {elapsed:.1f}s]", args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

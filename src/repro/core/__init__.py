@@ -1,0 +1,48 @@
+"""The paper's contribution: k-reach, (h,k)-reach, and general-k support."""
+
+from repro.core.dynamic import DynamicKReachIndex
+from repro.core.general_k import (
+    INFINITE_DISTANCE,
+    CoverDistanceOracle,
+    ExactKFamily,
+    GeometricKReachFamily,
+    KHopAnswer,
+)
+from repro.core.hkreach import HKReachIndex
+from repro.core.kreach import KReachIndex
+from repro.core.parallel import build_kreach_parallel, parallel_khop_rows
+from repro.core.rowstore import CompressedRow, compress_rows
+from repro.core.serialize import load_kreach, save_kreach
+from repro.core.vertex_cover import (
+    COVER_STRATEGIES,
+    cover_from_strategy,
+    greedy_vertex_cover,
+    hhop_vertex_cover,
+    is_hhop_vertex_cover,
+    is_vertex_cover,
+    vertex_cover_2approx,
+)
+
+__all__ = [
+    "KReachIndex",
+    "HKReachIndex",
+    "DynamicKReachIndex",
+    "CompressedRow",
+    "compress_rows",
+    "build_kreach_parallel",
+    "parallel_khop_rows",
+    "save_kreach",
+    "load_kreach",
+    "CoverDistanceOracle",
+    "GeometricKReachFamily",
+    "ExactKFamily",
+    "KHopAnswer",
+    "INFINITE_DISTANCE",
+    "COVER_STRATEGIES",
+    "cover_from_strategy",
+    "greedy_vertex_cover",
+    "hhop_vertex_cover",
+    "is_hhop_vertex_cover",
+    "is_vertex_cover",
+    "vertex_cover_2approx",
+]

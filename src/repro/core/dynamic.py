@@ -1,0 +1,261 @@
+"""Incrementally maintained k-reach index.
+
+The paper builds its index once over a static graph; its related work
+(Bramandia et al. [3], on incremental 2-hop maintenance) raises the
+obvious follow-up — keeping the index consistent as the graph changes.
+:class:`DynamicKReachIndex` answers that for k-reach:
+
+* **Edge insertion** is cheap, because every quantity the index stores is
+  a *minimum*: distances only shrink.  Inserting ``(u, v)``:
+
+  1. repairs the vertex-cover invariant — if neither endpoint is covered,
+     the higher-degree endpoint joins the cover (§4.3 spirit), gaining a
+     forward row and backward in-links from a pair of bounded BFS sweeps;
+  2. relaxes cover-pair weights through the new edge:
+     ``d(x, y) ≤ d(x, u) + 1 + d(v, y)``, evaluated over the backward
+     ``(k-1)``-ball of ``u`` and the forward ``(k-1)``-ball of ``v``
+     restricted to cover vertices.
+
+* **Edge deletion** is the hard direction (distances can grow, and stored
+  minima cannot be "un-relaxed"), so it falls back to partial
+  recomputation: every cover vertex that could reach ``u`` within ``k-1``
+  hops rebuilds its row with a fresh bounded BFS.  The cover itself stays
+  valid under deletions (removing edges never uncovers one).
+
+The class keeps its own mutable adjacency (the static
+:class:`~repro.graph.digraph.DiGraph` is by design immutable) and answers
+queries with the same four-case Algorithm 2; equivalence against a
+freshly built :class:`~repro.core.kreach.KReachIndex` after arbitrary
+update sequences is the central test invariant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.kreach import KReachIndex
+from repro.graph.digraph import DiGraph
+
+__all__ = ["DynamicKReachIndex"]
+
+
+class DynamicKReachIndex:
+    """k-reach with ``insert_edge`` / ``delete_edge`` maintenance.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph; copied into mutable adjacency.
+    k:
+        Hop budget (``None`` for the classic-reachability mode).
+
+    Examples
+    --------
+    >>> g = DiGraph(4, [(0, 1), (2, 3)])
+    >>> idx = DynamicKReachIndex(g, k=3)
+    >>> idx.query(0, 3)
+    False
+    >>> idx.insert_edge(1, 2)
+    >>> idx.query(0, 3)
+    True
+    >>> idx.delete_edge(1, 2)
+    >>> idx.query(0, 3)
+    False
+    """
+
+    def __init__(self, graph: DiGraph, k: int | None) -> None:
+        if k is not None and k < 0:
+            raise ValueError(f"k must be non-negative or None, got {k}")
+        self.n = graph.n
+        self.k = k
+        self._out: list[set[int]] = [set(row) for row in graph.out_lists()]
+        self._in: list[set[int]] = [set(row) for row in graph.in_lists()]
+        base = KReachIndex(graph, k)
+        self._cover: set[int] = set(base.cover)
+        self._rows: dict[int, dict[int, int]] = {
+            u: dict(base._rows[u]) for u in base._rows
+        }
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _quantize(self, dist: int) -> int:
+        if self.k is None:
+            return 0
+        floor = self.k - 2
+        return dist if dist > floor else floor
+
+    def _bounded_ball(
+        self, source: int, limit: int | None, adjacency: list[set[int]]
+    ) -> dict[int, int]:
+        """BFS distances over the mutable adjacency, ``limit`` hops deep."""
+        dist = {source: 0}
+        queue: deque[int] = deque([source])
+        while queue:
+            x = queue.popleft()
+            d = dist[x]
+            if limit is not None and d >= limit:
+                continue
+            for y in adjacency[x]:
+                if y not in dist:
+                    dist[y] = d + 1
+                    queue.append(y)
+        return dist
+
+    def _set_link(self, x: int, y: int, dist: int) -> None:
+        """Relax the stored weight of (x, y) to at most quantize(dist)."""
+        if x == y:
+            return
+        if self.k is not None and dist > self.k:
+            return
+        w = self._quantize(dist)
+        row = self._rows.setdefault(x, {})
+        old = row.get(y)
+        if old is None or w < old:
+            row[y] = w
+
+    def _rebuild_row(self, x: int) -> None:
+        """Recompute cover vertex ``x``'s row with a fresh bounded BFS."""
+        ball = self._bounded_ball(x, self.k, self._out)
+        row = {}
+        for v, d in ball.items():
+            if v != x and v in self._cover:
+                row[v] = self._quantize(d)
+        if row:
+            self._rows[x] = row
+        else:
+            self._rows.pop(x, None)
+
+    def _add_to_cover(self, w: int) -> None:
+        """Grow the cover by ``w``: forward row + backward in-links."""
+        self._cover.add(w)
+        self._rebuild_row(w)
+        back = self._bounded_ball(w, self.k, self._in)
+        for x, d in back.items():
+            if x != w and x in self._cover:
+                self._set_link(x, w, d)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> None:
+        """Insert the directed edge ``(u, v)`` and repair the index."""
+        self._check(u, v)
+        if u == v or v in self._out[u]:
+            return  # self-loops ignored (simple graphs), duplicates no-op
+        self._out[u].add(v)
+        self._in[v].add(u)
+        # Cover invariant: every edge needs a covered endpoint.
+        if u not in self._cover and v not in self._cover:
+            u_deg = len(self._out[u]) + len(self._in[u])
+            v_deg = len(self._out[v]) + len(self._in[v])
+            self._add_to_cover(u if u_deg >= v_deg else v)
+        # Relax cover-pair distances through the new edge:
+        # d(x, y) <= d(x, u) + 1 + d(v, y).
+        side = None if self.k is None else self.k - 1
+        back = self._bounded_ball(u, side, self._in)
+        fwd = self._bounded_ball(v, side, self._out)
+        back_cover = [(x, d) for x, d in back.items() if x in self._cover]
+        fwd_cover = [(y, d) for y, d in fwd.items() if y in self._cover]
+        for x, a in back_cover:
+            for y, b in fwd_cover:
+                if self.k is None or a + 1 + b <= self.k:
+                    self._set_link(x, y, a + 1 + b)
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Delete the directed edge ``(u, v)`` and repair the index.
+
+        Distances through the edge may grow, so every cover vertex within
+        ``k-1`` backward hops of ``u`` (those whose rows could have relied
+        on the edge) rebuilds its row.  The cover is left unchanged —
+        covers stay valid under deletions.
+        """
+        self._check(u, v)
+        if v not in self._out[u]:
+            return
+        self._out[u].discard(v)
+        self._in[v].discard(u)
+        side = None if self.k is None else self.k - 1
+        back = self._bounded_ball(u, side, self._in)
+        affected = [x for x in back if x in self._cover]
+        if u in self._cover and u not in back:
+            affected.append(u)
+        for x in affected:
+            self._rebuild_row(x)
+
+    def _check(self, u: int, v: int) -> None:
+        if not 0 <= u < self.n or not 0 <= v < self.n:
+            raise ValueError(f"vertex out of range [0, {self.n})")
+
+    # ------------------------------------------------------------------
+    # Queries (Algorithm 2 over the mutable state)
+    # ------------------------------------------------------------------
+    def _link_within(self, x: int, y: int, budget: int | None) -> bool:
+        if x == y:
+            return budget is None or budget >= 0
+        row = self._rows.get(x)
+        if row is None:
+            return False
+        w = row.get(y)
+        if w is None:
+            return False
+        return budget is None or w <= budget
+
+    def query(self, s: int, t: int) -> bool:
+        """Whether ``s →k t`` in the *current* graph."""
+        self._check(s, t)
+        if s == t:
+            return True
+        k = self.k
+        if k == 0:
+            return False
+        s_in = s in self._cover
+        t_in = t in self._cover
+        if s_in and t_in:
+            return self._link_within(s, t, k)
+        minus1 = None if k is None else k - 1
+        if s_in:
+            return any(self._link_within(s, v, minus1) for v in self._in[t])
+        if t_in:
+            return any(self._link_within(u, t, minus1) for u in self._out[s])
+        minus2 = None if k is None else k - 2
+        preds = self._in[t]
+        if not preds:
+            return False
+        for u in self._out[s]:
+            if u in preds and (minus2 is None or minus2 >= 0):
+                return True
+            if any(self._link_within(u, v, minus2) for v in preds):
+                return True
+        return False
+
+    def query_case(self, s: int, t: int) -> int:
+        """Which Algorithm-2 case the pair falls into (cover may have grown)."""
+        self._check(s, t)
+        s_in = s in self._cover
+        t_in = t in self._cover
+        if s_in and t_in:
+            return 1
+        if s_in:
+            return 2
+        if t_in:
+            return 3
+        return 4
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cover_size(self) -> int:
+        """Current cover size (monotone non-decreasing under updates)."""
+        return len(self._cover)
+
+    @property
+    def edge_count(self) -> int:
+        """Current number of index edges."""
+        return sum(len(row) for row in self._rows.values())
+
+    def to_digraph(self) -> DiGraph:
+        """Snapshot the current graph as an immutable :class:`DiGraph`."""
+        edges = [(u, v) for u in range(self.n) for v in self._out[u]]
+        return DiGraph(self.n, edges)

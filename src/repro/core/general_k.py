@@ -1,0 +1,346 @@
+"""Support for k-hop queries with arbitrary k (§4.4 of the paper).
+
+A single k-reach index answers queries only for the ``k`` it was built for.
+The paper sketches three ways to serve a *general* k, all implemented here:
+
+* :class:`CoverDistanceOracle` — keep the **exact** distance between every
+  pair of cover vertices (full BFS instead of k-hop BFS in Algorithm 1,
+  ``⌈log2 d⌉`` bits per entry).  Answers ``s →k t`` exactly for every k and
+  doubles as a shortest-path-distance oracle.  The paper notes the index
+  graph becomes dense; this is the price of generality.
+* :class:`GeometricKReachFamily` — ``log2 d`` k-reach indexes for
+  ``k = 2, 4, 8, …, 2^⌈lg d⌉``.  A query with hop budget k probes the
+  ``2^⌈lg k⌉`` index: *yes within* ``2^⌈lg k⌉`` and *no* are exact, and in
+  between the family answers "reachable within some ``k' ≤ 2^⌈lg k⌉``" —
+  the paper's approximation band, surfaced here as a structured
+  :class:`KHopAnswer` instead of a bare bool.
+* :class:`ExactKFamily` — one k-reach index per ``k = 2 … d`` (plus the
+  n-reach index for ``k > d``), exact for every k at ``(d-1)×`` the space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kreach import KReachIndex
+from repro.core.vertex_cover import cover_from_strategy, is_vertex_cover
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import UNREACHED, bfs_distances
+
+__all__ = [
+    "INFINITE_DISTANCE",
+    "CoverDistanceOracle",
+    "KHopAnswer",
+    "GeometricKReachFamily",
+    "ExactKFamily",
+]
+
+#: Sentinel distance for unreachable pairs.
+INFINITE_DISTANCE = float("inf")
+
+
+class CoverDistanceOracle:
+    """Exact cover-pair distances → exact k-hop answers for every k.
+
+    Construction is Algorithm 1 with the k-hop BFS replaced by a full BFS
+    (§4.4, first approach).  Queries follow the same four cases, but
+    instead of comparing a quantized weight against a budget they combine
+    exact distances:
+
+    * Case 1: ``d(s, t)``;
+    * Case 2: ``min_v d(s, v) + 1`` over in-neighbors ``v`` of ``t``;
+    * Case 3: ``min_u d(u, t) + 1`` over out-neighbors ``u`` of ``s``;
+    * Case 4: ``min_{u,v} d(u, v) + 2``.
+
+    The same minimization yields :meth:`distance`, making this a full
+    shortest-path-distance oracle — the paper's observation that a
+    general-k index "is essentially an index for shortest-path distance
+    queries".
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        cover: frozenset[int] | None = None,
+        cover_strategy: str = "degree",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.graph = graph
+        if cover is None:
+            cover = cover_from_strategy(graph, cover_strategy, rng=rng)
+        else:
+            cover = frozenset(int(v) for v in cover)
+            if not is_vertex_cover(graph, cover):
+                raise ValueError("provided vertex set is not a vertex cover")
+        self.cover = cover
+        self._in_cover = np.zeros(graph.n, dtype=bool)
+        if cover:
+            self._in_cover[list(cover)] = True
+        self._rows: dict[int, dict[int, int]] = {}
+        self._max_distance = 0
+        for u in cover:
+            dist = bfs_distances(graph, u)
+            hit = np.flatnonzero((dist != UNREACHED) & self._in_cover)
+            row = {int(v): int(dist[v]) for v in hit if int(v) != u}
+            if row:
+                self._rows[u] = row
+                self._max_distance = max(self._max_distance, max(row.values()))
+
+    def _pair_distance(self, u: int, v: int) -> float:
+        if u == v:
+            return 0
+        row = self._rows.get(u)
+        if row is None:
+            return INFINITE_DISTANCE
+        return row.get(v, INFINITE_DISTANCE)
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact shortest-path distance (``INFINITE_DISTANCE`` if unreachable)."""
+        g = self.graph
+        if not 0 <= s < g.n or not 0 <= t < g.n:
+            raise ValueError(f"query vertex out of range [0, {g.n})")
+        if s == t:
+            return 0
+        s_in = bool(self._in_cover[s])
+        t_in = bool(self._in_cover[t])
+        if s_in and t_in:
+            return self._pair_distance(s, t)
+        if s_in:
+            best = INFINITE_DISTANCE
+            for v in self.graph.in_neighbors(t):
+                best = min(best, self._pair_distance(s, int(v)) + 1)
+            return best
+        if t_in:
+            best = INFINITE_DISTANCE
+            for u in self.graph.out_neighbors(s):
+                best = min(best, self._pair_distance(int(u), t) + 1)
+            return best
+        best = INFINITE_DISTANCE
+        preds = [int(v) for v in self.graph.in_neighbors(t)]
+        for u in self.graph.out_neighbors(s):
+            u = int(u)
+            for v in preds:
+                best = min(best, self._pair_distance(u, v) + 2)
+        return best
+
+    def reaches_within(self, s: int, t: int, k: int) -> bool:
+        """Exact ``s →k t`` for any non-negative k."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return self.distance(s, t) <= k
+
+    def reaches(self, s: int, t: int) -> bool:
+        """Classic reachability."""
+        return self.distance(s, t) < INFINITE_DISTANCE
+
+    @property
+    def cover_size(self) -> int:
+        """``|V_I|``."""
+        return len(self.cover)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of stored finite cover-pair distances."""
+        return sum(len(row) for row in self._rows.values())
+
+    def weight_bits(self) -> int:
+        """Bits per stored distance: ``⌈log2 d⌉`` (§4.4)."""
+        return max(1, int(self._max_distance).bit_length())
+
+    def storage_bytes(self) -> int:
+        """Same CSR storage model as k-reach, with ``⌈lg d⌉``-bit weights."""
+        n_i, m_i = self.cover_size, self.edge_count
+        return (
+            4 * n_i
+            + 4 * (n_i + 1)
+            + 4 * m_i
+            + (m_i * self.weight_bits() + 7) // 8
+            + (self.graph.n + 7) // 8
+        )
+
+
+@dataclass(frozen=True)
+class KHopAnswer:
+    """A possibly-approximate answer from :class:`GeometricKReachFamily`.
+
+    Attributes
+    ----------
+    reachable:
+        The index's verdict (for approximate answers: reachable within
+        ``upper_bound`` hops, but possibly not within the asked ``k``).
+    exact:
+        Whether the verdict is exact for the asked ``k``.
+    upper_bound:
+        When ``reachable`` and not ``exact``: the certified hop bound
+        ``k'`` with ``k < k' ≤ 2^⌈lg k⌉``.
+    """
+
+    reachable: bool
+    exact: bool
+    upper_bound: int | None = None
+
+    def __bool__(self) -> bool:
+        return self.reachable
+
+
+class GeometricKReachFamily:
+    """The paper's ``lg d`` family of ``2^i``-reach indexes (§4.4).
+
+    Parameters
+    ----------
+    graph:
+        Input digraph.
+    max_k:
+        Largest hop budget to cover.  The paper sets this to the graph
+        diameter ``d`` (known for its datasets); the safe default here is
+        ``n - 1``, which no simple path can exceed.  Indexes are built for
+        ``k = 2, 4, …, 2^⌈lg max_k⌉``.
+    max_k_covers_diameter:
+        Whether ``max_k`` is ≥ the true diameter, making "not reachable
+        within the top level" equivalent to "not reachable at all" (and
+        hence queries with ``k`` beyond the top level exact).  Defaults to
+        an automatic check (``True`` when the rounded ``max_k ≥ n - 1``);
+        pass ``True`` explicitly when supplying a measured diameter.
+    share_cover:
+        Build every member on the same vertex cover (default) so the family
+        differs only in BFS depth — this is what makes the total size
+        "approximately lg d times the space of a single k-reach".
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        max_k: int | None = None,
+        max_k_covers_diameter: bool | None = None,
+        cover_strategy: str = "degree",
+        share_cover: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.graph = graph
+        if max_k is None:
+            max_k = max(2, graph.n - 1)
+        if max_k < 2:
+            max_k = 2
+        self.max_k = 1 << (max_k - 1).bit_length()  # 2^ceil(lg max_k)
+        if max_k_covers_diameter is None:
+            max_k_covers_diameter = self.max_k >= graph.n - 1
+        self._covers_diameter = bool(max_k_covers_diameter)
+        cover = (
+            cover_from_strategy(graph, cover_strategy, rng=rng)
+            if share_cover
+            else None
+        )
+        self.indexes: dict[int, KReachIndex] = {}
+        k = 2
+        while k <= self.max_k:
+            self.indexes[k] = KReachIndex(
+                graph, k, cover=cover, cover_strategy=cover_strategy, rng=rng
+            )
+            k *= 2
+        self.levels = sorted(self.indexes)
+
+    def query(self, s: int, t: int, k: int, *, refine: bool = False) -> KHopAnswer:
+        """Answer ``s →k t`` with the paper's approximation semantics.
+
+        With ``refine=False`` (the paper's behavior) only the ``2^⌈lg k⌉``
+        index is probed.  ``refine=True`` additionally walks down the
+        family to tighten the certified bound — answers become exact
+        whenever some smaller index already certifies the pair.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if s == t:
+            return KHopAnswer(True, True)
+        if k == 0:
+            return KHopAnswer(False, True)
+        if k == 1:
+            return KHopAnswer(self.graph.has_edge(s, t), True)
+        level = min(1 << (k - 1).bit_length(), self.max_k)
+        idx = self.indexes[level]
+        hit = idx.query(s, t)
+        if not hit:
+            # Not within `level >= min(k, max_k)` hops.  Exact "no" when
+            # level >= k, or when the top level provably bounds the diameter
+            # (then "not within max_k" means "not reachable at all").
+            return KHopAnswer(False, k <= level or self._covers_diameter)
+        if level <= k:
+            return KHopAnswer(True, True)
+        if refine:
+            # Find the smallest family member that certifies the pair.
+            tightest = level
+            for smaller in self.levels:
+                if smaller >= level:
+                    break
+                if self.indexes[smaller].query(s, t):
+                    tightest = smaller
+                    break
+            if tightest <= k:
+                return KHopAnswer(True, True)
+            return KHopAnswer(True, False, upper_bound=tightest)
+        return KHopAnswer(True, False, upper_bound=level)
+
+    def reaches_within(self, s: int, t: int, k: int) -> bool:
+        """Boolean view of :meth:`query` (approximate answers count as True)."""
+        return self.query(s, t, k).reachable
+
+    def storage_bytes(self) -> int:
+        """Total modeled size across the family."""
+        return sum(ix.storage_bytes() for ix in self.indexes.values())
+
+    @property
+    def num_levels(self) -> int:
+        """How many indexes the family holds (≈ lg d)."""
+        return len(self.indexes)
+
+
+class ExactKFamily:
+    """One k-reach index per ``k = 2 … d`` → exact answers for every k (§4.4).
+
+    ``d`` defaults to the exact diameter (max finite shortest-path length).
+    Queries with ``k ≥ d`` are served by the n-reach member, since within-d
+    reachability coincides with reachability.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        diameter: int | None = None,
+        cover_strategy: str = "degree",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.graph = graph
+        if diameter is None:
+            from repro.graph.stats import shortest_path_stats
+
+            diameter, _ = shortest_path_stats(graph)
+        self.diameter = max(2, diameter)
+        cover = cover_from_strategy(graph, cover_strategy, rng=rng)
+        self.indexes: dict[int, KReachIndex] = {
+            k: KReachIndex(graph, k, cover=cover) for k in range(2, self.diameter + 1)
+        }
+        self.reachability = KReachIndex(graph, None, cover=cover)
+
+    def reaches_within(self, s: int, t: int, k: int) -> bool:
+        """Exact ``s →k t`` for any non-negative k."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if s == t:
+            return True
+        if k == 0:
+            return False
+        if k == 1:
+            return self.graph.has_edge(s, t)
+        if k >= self.diameter:
+            return self.reachability.query(s, t)
+        return self.indexes[k].query(s, t)
+
+    def storage_bytes(self) -> int:
+        """Total modeled size across all members."""
+        return self.reachability.storage_bytes() + sum(
+            ix.storage_bytes() for ix in self.indexes.values()
+        )

@@ -1,0 +1,394 @@
+"""The (h,k)-reach index (Definition 2, Algorithm 3, §5 of the paper).
+
+Trades query time for index size: the vertex cover of k-reach is replaced
+by an **h-hop vertex cover** (every simple directed path of length ``h``
+meets the cover), which Corollary 1 shows is never larger.  The index graph
+``H = (V_H, E_H, ω_H)`` stores, for cover pairs, the shortest distance
+quantized to the ``2h+1`` values ``{k-2h, …, k}`` — ``ceil(log2(2h+1))``
+bits per edge.
+
+Queries (Algorithm 3) mirror k-reach's four cases but expand up to
+``h``-hop neighborhoods around uncovered endpoints:
+
+* **Case 2** (only ``s`` covered): some ``v ∈ inNei_i(t)`` with
+  ``ω_H((s, v)) ≤ k - i``, ``1 ≤ i ≤ h``.
+* **Case 4** (neither covered): some ``u ∈ outNei_i(s)``,
+  ``v ∈ inNei_j(t)`` with ``ω_H((u, v)) ≤ k - i - j``.
+
+**Completeness fixes** (see DESIGN.md; the paper's Theorem 2 glosses both):
+
+1. *Self-handshake*: a shortest path may carry exactly one cover vertex,
+   serving as both the "u" and the "v" of Case 4 — a link of weight 0.
+2. *Short cover-free paths*: an h-hop cover only intercepts paths of
+   length ``≥ h``, so a path shorter than ``h`` may avoid the cover
+   entirely (for example, a single edge ``s → t`` with ``h = 2`` and
+   neither endpoint covered).
+
+Both are handled by a meet-in-the-middle *direct-contact test* that runs
+before the index lookups (see :meth:`HKReachIndex._contact_limit`).
+
+**Query-time engineering.**  The paper notes that expansions "terminate
+earlier as soon as a match is found"; we go further and bound how deep an
+expansion can ever be useful: a level-i neighbor can only certify a link
+of weight ``≤ k - i - 1``, and no link is cheaper than ``max(1, k-2h)``,
+so levels beyond ``k - 1 - max(1, k-2h)`` are never expanded.  On
+hub-dominated graphs this caps the Case-4 cost at neighbor-list size
+instead of the (often graph-sized) h-hop hub ball — the difference
+between the paper's Table 9 query times and a ~100x blowup.
+
+Definition 2 requires ``h < k/2`` so the smallest useful budget
+``k - 2h`` stays positive; the constructor enforces this for finite ``k``
+unless ``strict=False`` (which the paper's own Table 9 configuration
+needs, since it evaluates (2, µ)-reach with µ = 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitsets.packed import PackedIntArray, bits_needed
+from repro.core.vertex_cover import hhop_vertex_cover, is_hhop_vertex_cover
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import (
+    UNREACHED,
+    bfs_distances,
+    bfs_distances_scalar,
+    bidirectional_reaches_within,
+    bounded_neighborhood,
+    reaches_within_small,
+)
+
+__all__ = ["HKReachIndex"]
+
+_SCALAR_BFS_MAX_K = 3
+
+
+class HKReachIndex:
+    """h-hop vertex-cover-based k-reach index.
+
+    Parameters
+    ----------
+    graph:
+        Input digraph (referenced by queries, as with k-reach).
+    h:
+        Cover hop parameter (``h ≥ 1``; ``h = 1`` coincides with k-reach's
+        cover but keeps Algorithm 3's machinery).
+    k:
+        Hop budget, or ``None`` for the classic-reachability mode.
+        Finite ``k`` must satisfy ``h < k/2`` (Definition 2).
+    cover:
+        Optional pre-computed h-hop vertex cover (validated on graphs small
+        enough for the exhaustive check).
+    cover_order:
+        Start-vertex priority for the (h+1)-approximation: ``'degree'``
+        (default), ``'random'``, or ``'input'``.
+    strict:
+        Enforce Definition 2's ``h < k/2`` (default).  Pass ``False`` to
+        build anyway — the query algorithm remains correct for any
+        ``h ≥ 1`` (budgets simply go negative more often and weights are
+        quantized less aggressively); the paper itself does this in
+        Table 9, where (2, µ)-reach is evaluated with µ = 2.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import paper_example_graph
+    >>> g = paper_example_graph()
+    >>> idx = HKReachIndex(g, h=2, k=5)
+    >>> idx.query(g.vertex_id("a"), g.vertex_id("i"))
+    True
+    >>> idx.query(g.vertex_id("a"), g.vertex_id("j"))
+    False
+    """
+
+    _COVER_VALIDATION_MAX_N = 512  # exhaustive h-hop check is exponential-ish
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        h: int,
+        k: int | None,
+        *,
+        cover: frozenset[int] | None = None,
+        cover_order: str = "degree",
+        strict: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if h < 1:
+            raise ValueError(f"h must be >= 1, got {h}")
+        if k is not None:
+            if k < 0:
+                raise ValueError(f"k must be non-negative or None, got {k}")
+            if strict and not h < k / 2:
+                raise ValueError(
+                    f"Definition 2 requires h < k/2; got h={h}, k={k} "
+                    f"(pass strict=False to build anyway)"
+                )
+        self.graph = graph
+        self.h = h
+        self.k = k
+        if cover is None:
+            cover = hhop_vertex_cover(graph, h, order=cover_order, rng=rng)
+        else:
+            cover = frozenset(int(v) for v in cover)
+            if graph.n <= self._COVER_VALIDATION_MAX_N and not is_hhop_vertex_cover(
+                graph, cover, h
+            ):
+                raise ValueError(f"provided vertex set is not an {h}-hop vertex cover")
+        self.cover: frozenset[int] = cover
+        self._in_cover = np.zeros(graph.n, dtype=bool)
+        if cover:
+            self._in_cover[list(cover)] = True
+        self._rows: dict[int, dict[int, int]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction (Algorithm 1 with Definition-2 weights)
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        g, k = self.graph, self.k
+        floor = max(k - 2 * self.h, 0) if k is not None else 0
+        in_cover = self._in_cover
+        use_scalar = k is not None and k <= _SCALAR_BFS_MAX_K
+        for u in self.cover:
+            row: dict[int, int] = {}
+            if use_scalar:
+                for v, d in bfs_distances_scalar(g, u, k=k).items():
+                    if v != u and in_cover[v]:
+                        row[v] = max(d, floor)
+            else:
+                dist = bfs_distances(g, u, k=k)
+                hit = np.flatnonzero((dist != UNREACHED) & in_cover)
+                for v in hit:
+                    v = int(v)
+                    if v != u:
+                        row[v] = max(int(dist[v]), floor)
+            if row:
+                self._rows[u] = row
+
+    # ------------------------------------------------------------------
+    # Query processing (Algorithm 3)
+    # ------------------------------------------------------------------
+    def _link_within(self, u: int, v: int, budget: int | None) -> bool:
+        """Index-certified ``d(u, v) ≤ budget``; ``u == v`` is distance 0."""
+        if u == v:
+            return budget is None or budget >= 0
+        row = self._rows.get(u)
+        if row is None:
+            return False
+        w = row.get(v)
+        if w is None:
+            return False
+        return budget is None or w <= budget
+
+    def _contact_limit(self, *, both_uncovered: bool) -> int:
+        """Hop bound for the meet-in-the-middle direct test.
+
+        Cases 2/3 (one endpoint covered): a path whose only cover vertex is
+        the covered endpoint itself is cover-free afterwards, hence shorter
+        than ``h`` — the test needs ``min(h, k)`` hops.
+
+        Case 4: a shortest path may carry exactly **one** cover vertex,
+        within ``h`` of both endpoints.  That certificate is the u == v
+        self-handshake (weight 0), which the link-expansion caps cannot
+        see, so the direct test must cover it: up to ``min(2h, k)`` hops.
+        """
+        reach = 2 * self.h if both_uncovered else self.h
+        if self.k is None:
+            return reach
+        return min(reach, self.k)
+
+    def _min_link_weight(self) -> int:
+        """Smallest weight a (u != v) index edge can carry.
+
+        Weights are ``max(distance, k-2h)`` and distinct cover vertices are
+        at distance ≥ 1, so no link is cheaper than ``max(1, k-2h)``.  The
+        expansion-depth caps below derive from this: expanding further than
+        the cheapest link can pay off is pure waste — on hub-dominated
+        graphs the difference is a ~1000x query-time cliff, since a 2-hop
+        ball around a hub neighbor covers most of the graph.
+        """
+        assert self.k is not None
+        return max(1, self.k - 2 * self.h)
+
+    def _levels(self, v: int, limit: int, direction: str) -> list[list[int]]:
+        """BFS levels 1..limit around ``v`` (level 0 = {v} omitted)."""
+        if limit <= 0:
+            return []
+        ball = bounded_neighborhood(self.graph, v, limit, direction=direction)
+        levels: list[list[int]] = [[] for _ in range(limit)]
+        for u, d in ball.items():
+            if d >= 1:
+                levels[d - 1].append(u)
+        return levels
+
+    def query(self, s: int, t: int) -> bool:
+        """Whether ``s →k t`` (``s → t`` when ``k`` is None)."""
+        g, k, h = self.graph, self.k, self.h
+        if not 0 <= s < g.n or not 0 <= t < g.n:
+            raise ValueError(f"query vertex out of range [0, {g.n})")
+        if s == t:
+            return True
+        if k == 0:
+            return False
+        s_in = bool(self._in_cover[s])
+        t_in = bool(self._in_cover[t])
+
+        if s_in and t_in:
+            return self._link_within(s, t, k)
+
+        in_cover = self._in_cover
+        if s_in or t_in:
+            # Cases 2/3: one uncovered endpoint.  Direct contact first
+            # (meet-in-the-middle keeps hub balls unexpanded), then cover
+            # links, nearest levels first — a level-i link needs budget
+            # k-i ≥ min link weight, capping the expansion depth.
+            limit = self._contact_limit(both_uncovered=False)
+            contact = (
+                reaches_within_small(g, s, t, limit)
+                if limit <= 3
+                else bidirectional_reaches_within(g, s, t, limit)
+            )
+            if contact:
+                return True
+            if k is None:
+                link_limit = h
+            else:
+                link_limit = min(h, k - self._min_link_weight())
+            if s_in:
+                levels = self._levels(t, link_limit, "in")
+                for i, level in enumerate(levels, start=1):
+                    budget = None if k is None else k - i
+                    for v in level:
+                        if in_cover[v] and self._link_within(s, v, budget):
+                            return True
+            else:
+                levels = self._levels(s, link_limit, "out")
+                for i, level in enumerate(levels, start=1):
+                    budget = None if k is None else k - i
+                    for u in level:
+                        if in_cover[u] and self._link_within(u, t, budget):
+                            return True
+            return False
+
+        # Case 4: both endpoints uncovered.
+        limit = self._contact_limit(both_uncovered=True)
+        contact = (
+            reaches_within_small(g, s, t, limit)
+            if limit <= 3
+            else bidirectional_reaches_within(g, s, t, limit)
+        )
+        if contact:
+            return True
+        if k is None:
+            side_limit = h
+        else:
+            # i + j + min_weight <= k with i, j >= 1 bounds each side.
+            side_limit = min(h, k - 1 - self._min_link_weight())
+        if side_limit <= 0:
+            return False
+        fwd_levels = self._levels(s, side_limit, "out")
+        back_levels = self._levels(t, side_limit, "in")
+        fwd_cover = [
+            (u, i)
+            for i, level in enumerate(fwd_levels, start=1)
+            for u in level
+            if in_cover[u]
+        ]
+        if not fwd_cover:
+            return False
+        back_cover = [
+            (v, j)
+            for j, level in enumerate(back_levels, start=1)
+            for v in level
+            if in_cover[v]
+        ]
+        if not back_cover:
+            return False
+        # Nearest cover contacts first: they leave the largest budget.
+        fwd_cover.sort(key=lambda p: p[1])
+        back_cover.sort(key=lambda p: p[1])
+        for u, i in fwd_cover:
+            for v, j in back_cover:
+                budget = None if k is None else k - i - j
+                if self._link_within(u, v, budget):
+                    return True
+        return False
+
+    def reaches(self, s: int, t: int) -> bool:
+        """Classic-reachability alias (meaningful for ``k=None``)."""
+        return self.query(s, t)
+
+    def query_case(self, s: int, t: int) -> int:
+        """Which of Algorithm 3's four cases the query (s, t) falls into."""
+        if not 0 <= s < self.graph.n or not 0 <= t < self.graph.n:
+            raise ValueError("query vertex out of range")
+        s_in = bool(self._in_cover[s])
+        t_in = bool(self._in_cover[t])
+        if s_in and t_in:
+            return 1
+        if s_in:
+            return 2
+        if t_in:
+            return 3
+        return 4
+
+    def contains(self, v: int) -> bool:
+        """Whether ``v`` is in the h-hop vertex cover."""
+        return bool(self._in_cover[v])
+
+    # ------------------------------------------------------------------
+    # Introspection & storage model
+    # ------------------------------------------------------------------
+    @property
+    def cover_size(self) -> int:
+        """``|V_H|``."""
+        return len(self.cover)
+
+    @property
+    def edge_count(self) -> int:
+        """``|E_H|``."""
+        return sum(len(row) for row in self._rows.values())
+
+    def weight(self, u: int, v: int) -> int | None:
+        """The stored ``ω_H((u, v))``, or None if absent."""
+        row = self._rows.get(u)
+        return None if row is None else row.get(v)
+
+    def weighted_edges(self) -> list[tuple[int, int, int]]:
+        """All index edges as sorted ``(u, v, weight)`` triples."""
+        return sorted(
+            (u, v, w) for u, row in self._rows.items() for v, w in row.items()
+        )
+
+    def weight_bits(self) -> int:
+        """Bits per edge weight: ``ceil(log2(2h+1))`` distinct values
+        (fewer when ``k < 2h`` caps the quantization range)."""
+        if self.k is None:
+            return 0
+        floor = max(self.k - 2 * self.h, 0)
+        return bits_needed(self.k - floor + 1)
+
+    def storage_bytes(self) -> int:
+        """Modeled on-disk size, same scheme as k-reach but wider weights."""
+        n_h, m_h = self.cover_size, self.edge_count
+        id_bytes = 4 * n_h
+        indptr_bytes = 4 * (n_h + 1)
+        indices_bytes = 4 * m_h
+        weight_bytes = (m_h * self.weight_bits() + 7) // 8
+        bitmap_bytes = (self.graph.n + 7) // 8
+        return id_bytes + indptr_bytes + indices_bytes + weight_bytes + bitmap_bytes
+
+    def packed_weights(self) -> PackedIntArray:
+        """Edge weights packed at ``weight_bits()`` bits (offset by k-2h)."""
+        if self.k is None:
+            raise ValueError("the unbounded mode stores no weights")
+        floor = max(self.k - 2 * self.h, 0)
+        values = [w - floor for _, _, w in self.weighted_edges()]
+        return PackedIntArray.from_values(values, bits=self.weight_bits())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        k = "inf" if self.k is None else self.k
+        return (
+            f"HKReachIndex(h={self.h}, k={k}, |V_H|={self.cover_size}, "
+            f"|E_H|={self.edge_count})"
+        )

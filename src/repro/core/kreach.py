@@ -1,0 +1,446 @@
+"""The k-reach index (Definition 1, Algorithms 1–2 of the paper).
+
+Given a directed graph ``G`` and a hop budget ``k``, the index is a small
+weighted digraph ``I = (V_I, E_I, ω_I)``:
+
+* ``V_I`` is a vertex cover ``S`` of ``G``;
+* ``(u, v) ∈ E_I`` iff ``u →k v`` in ``G`` (``v`` reachable from ``u``
+  within ``k`` hops);
+* ``ω_I((u, v)) = max(d(u, v), k-2)`` — i.e. the shortest-path distance
+  quantized to the three values ``{k-2, k-1, k}``, which is all query
+  processing ever needs (2 bits per edge, §4.3).
+
+Queries (Algorithm 2) split on cover membership of the endpoints:
+
+* **Case 1** (both in ``S``): one edge lookup in ``I``.
+* **Case 2** (only ``s``): every in-neighbor of ``t`` is in ``S`` (else the
+  edge into ``t`` would be uncovered), so ``s →k t`` iff some in-neighbor
+  ``v`` has ``ω_I((s, v)) ≤ k-1``.
+* **Case 3** (only ``t``): mirror of Case 2 via out-neighbors of ``s``.
+* **Case 4** (neither): some out-neighbor ``u`` of ``s`` and in-neighbor
+  ``v`` of ``t`` must satisfy ``ω_I((u, v)) ≤ k-2``.
+
+**Self-handshake fix.**  The pseudocode in the paper implicitly relies on
+``I`` containing a zero-weight self-loop at every cover vertex: in Case 2
+the covering in-neighbor of ``t`` may be ``s`` itself (the path is the
+single edge ``s → t``), and in Case 4 the out-neighbor of ``s`` may equal
+the in-neighbor of ``t`` (the path is ``s → u → t``).  We implement this by
+treating ``u == v`` as an always-present link of weight 0 rather than
+materializing self-loops; `tests/core/test_kreach.py` exercises both
+situations.
+
+With ``k=None`` the index degenerates to the paper's **n-reach**: a classic
+reachability index.  In that mode construction runs over the SCC
+condensation's transitive closure instead of per-cover-vertex BFS — the
+same index, built with bitset sweeps instead of |S| graph traversals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitsets.packed import PackedIntArray
+from repro.core.rowstore import compress_rows
+from repro.core.vertex_cover import cover_from_strategy, is_vertex_cover
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condensation
+from repro.graph.traversal import UNREACHED, bfs_distances, bfs_distances_scalar
+
+__all__ = ["KReachIndex"]
+
+# Below this k a scalar sparse BFS beats the vectorized full-array BFS
+# because the k-hop ball is tiny relative to the graph.
+_SCALAR_BFS_MAX_K = 3
+
+
+class KReachIndex:
+    """Vertex-cover-based k-hop reachability index.
+
+    Parameters
+    ----------
+    graph:
+        The input :class:`~repro.graph.digraph.DiGraph`.  The index keeps a
+        reference — queries need the original adjacency for Cases 2–4.
+    k:
+        Hop budget.  ``None`` builds the n-reach variant answering classic
+        reachability.
+    cover:
+        Optional pre-computed vertex cover (it is validated); by default a
+        cover is computed with ``cover_strategy``.
+    cover_strategy:
+        One of ``'degree'`` (default, the §4.3 high-degree-first pick),
+        ``'random'``, ``'input'``, ``'greedy'``.
+    include_degree_at_least:
+        Seed all vertices of at least this degree into the cover (§4.3).
+    compress_rows_at:
+        If set, index rows with at least this many edges are stored as
+        per-weight-level WAH bitmaps instead of hash tables — the §4.3
+        compact representation for high-degree vertices.  Queries then
+        probe compressed bits instead of scanning neighbor lists.
+    rng:
+        Randomness for ``cover_strategy='random'``.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import paper_example_graph
+    >>> g = paper_example_graph()
+    >>> idx = KReachIndex(g, k=3)
+    >>> idx.query(g.vertex_id("b"), g.vertex_id("g"))
+    True
+    >>> idx.query(g.vertex_id("b"), g.vertex_id("i"))
+    False
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        k: int | None,
+        *,
+        cover: frozenset[int] | None = None,
+        cover_strategy: str = "degree",
+        include_degree_at_least: int | None = None,
+        compress_rows_at: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if k is not None and k < 0:
+            raise ValueError(f"k must be non-negative or None, got {k}")
+        self.graph = graph
+        self.k = k
+        if cover is None:
+            cover = cover_from_strategy(
+                graph,
+                cover_strategy,
+                rng=rng,
+                include_degree_at_least=include_degree_at_least,
+            )
+        else:
+            cover = frozenset(int(v) for v in cover)
+            if not is_vertex_cover(graph, cover):
+                raise ValueError("provided vertex set is not a vertex cover")
+        self.cover: frozenset[int] = cover
+        # bytearray: fastest per-query membership flag in CPython.
+        self._cover_flags = bytearray(graph.n)
+        for v in cover:
+            self._cover_flags[v] = 1
+        # Index adjacency: cover vertex -> {cover vertex: quantized weight}.
+        self._rows: dict[int, dict[int, int]] = {}
+        # Pre-resolved query-time budgets (None = unbounded).
+        self._b1_ok = k is None or k >= 1  # may a u == v handshake use k-1?
+        self._b2_ok = k is None or k >= 2  # ... use k-2?
+        if k is None:
+            self._build_unbounded()
+        else:
+            self._build_khop()
+        self.compress_rows_at = compress_rows_at
+        if compress_rows_at is not None:
+            self._rows = compress_rows(self._rows, graph.n, compress_rows_at)
+        # Plain-list adjacency for the hot query loops.
+        self._out_lists = graph.out_lists()
+        self._in_lists = graph.in_lists()
+
+    @classmethod
+    def from_parts(
+        cls,
+        graph: DiGraph,
+        k: int | None,
+        *,
+        cover: frozenset[int],
+        rows: dict[int, dict[int, int]],
+        compress_rows_at: int | None = None,
+    ) -> "KReachIndex":
+        """Assemble an index from pre-computed parts without rebuilding.
+
+        Used by the parallel builder (:mod:`repro.core.parallel`) and the
+        on-disk loader (:mod:`repro.core.serialize`).  The caller is
+        responsible for ``rows`` being exactly what Algorithm 1 would have
+        produced for this ``(graph, k, cover)``.
+        """
+        self = object.__new__(cls)
+        self.graph = graph
+        self.k = k
+        self.cover = frozenset(int(v) for v in cover)
+        self._cover_flags = bytearray(graph.n)
+        for v in self.cover:
+            self._cover_flags[v] = 1
+        self._rows = {int(u): dict(row) for u, row in rows.items()}
+        self._b1_ok = k is None or k >= 1
+        self._b2_ok = k is None or k >= 2
+        self.compress_rows_at = compress_rows_at
+        if compress_rows_at is not None:
+            self._rows = compress_rows(self._rows, graph.n, compress_rows_at)
+        self._out_lists = graph.out_lists()
+        self._in_lists = graph.in_lists()
+        return self
+
+    # ------------------------------------------------------------------
+    # Construction (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _build_khop(self) -> None:
+        """k-hop BFS from every cover vertex (Algorithm 1, line 5)."""
+        g, k = self.graph, self.k
+        assert k is not None
+        floor = k - 2
+        flags = self._cover_flags
+        in_cover_np = np.frombuffer(bytes(flags), dtype=np.uint8).astype(bool)
+        use_scalar = k <= _SCALAR_BFS_MAX_K
+        for u in self.cover:
+            row: dict[int, int] = {}
+            if use_scalar:
+                for v, d in bfs_distances_scalar(g, u, k=k).items():
+                    if v != u and flags[v]:
+                        row[v] = d if d > floor else floor
+            else:
+                dist = bfs_distances(g, u, k=k)
+                hit = np.flatnonzero((dist != UNREACHED) & in_cover_np)
+                for v in hit.tolist():
+                    if v != u:
+                        d = int(dist[v])
+                        row[v] = d if d > floor else floor
+            if row:
+                self._rows[u] = row
+
+    def _build_unbounded(self) -> None:
+        """n-reach construction over the condensation's transitive closure.
+
+        For ``k = ∞`` only reachability between cover vertices matters, so
+        instead of |S| full BFS sweeps we compute the DAG transitive
+        closure once (big-int bitmask OR-accumulation in reverse
+        topological order) and expand it to cover pairs.
+        """
+        g = self.graph
+        cond = condensation(g)
+        comp = cond.component_of
+        dag = cond.dag
+        n_dag = dag.n
+
+        members: dict[int, list[int]] = {}
+        for u in self.cover:
+            members.setdefault(int(comp[u]), []).append(u)
+        cover_comp_mask = 0
+        for c in members:
+            cover_comp_mask |= 1 << c
+
+        closure: list[int] = [0] * n_dag
+        for c in range(n_dag):  # increasing id = reverse topological order
+            acc = 0
+            for child in dag.out_neighbors(c):
+                child = int(child)
+                acc |= closure[child] | (1 << child)
+            closure[c] = acc
+
+        for c, us in members.items():
+            # Cover vertices in strictly-reachable components.
+            reach: list[int] = []
+            mask = closure[c] & cover_comp_mask
+            while mask:
+                low = mask & -mask
+                reach.extend(members[low.bit_length() - 1])
+                mask ^= low
+            same = us if len(us) > 1 and not cond.is_trivial(c) else None
+            for u in us:
+                row = dict.fromkeys(reach, 0)
+                if same is not None:
+                    for v in same:
+                        if v != u:
+                            row[v] = 0
+                if row:
+                    self._rows[u] = row
+
+    # ------------------------------------------------------------------
+    # Query processing (Algorithm 2)
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> bool:
+        """Whether ``s →k t`` (``s → t`` for the n-reach mode)."""
+        flags = self._cover_flags
+        n = len(flags)
+        if not 0 <= s < n or not 0 <= t < n:
+            raise ValueError(f"query vertex out of range [0, {n})")
+        if s == t:
+            return True
+        k = self.k
+        if k == 0:
+            return False
+        rows = self._rows
+
+        if flags[s]:
+            if flags[t]:
+                # Case 1: all stored weights are <= k by construction.
+                row = rows.get(s)
+                return row is not None and t in row
+            # Case 2: all in-neighbors of t are covered.
+            row = rows.get(s)
+            b1_ok = self._b1_ok
+            if k is None:
+                for v in self._in_lists[t]:
+                    if v == s or (row is not None and v in row):
+                        return True
+                return False
+            budget = k - 1
+            for v in self._in_lists[t]:
+                if v == s:
+                    if b1_ok:
+                        return True
+                elif row is not None:
+                    w = row.get(v)
+                    if w is not None and w <= budget:
+                        return True
+            return False
+
+        if flags[t]:
+            # Case 3: all out-neighbors of s are covered.
+            if k is None:
+                for u in self._out_lists[s]:
+                    if u == t:
+                        return True
+                    row = rows.get(u)
+                    if row is not None and t in row:
+                        return True
+                return False
+            budget = k - 1
+            for u in self._out_lists[s]:
+                if u == t:
+                    if self._b1_ok:
+                        return True
+                else:
+                    row = rows.get(u)
+                    if row is not None:
+                        w = row.get(t)
+                        if w is not None and w <= budget:
+                            return True
+            return False
+
+        # Case 4: bridge an out-neighbor of s to an in-neighbor of t.
+        preds = self._in_lists[t]
+        if not preds:
+            return False
+        pred_set = set(preds)
+        b2_ok = self._b2_ok
+        if k is None:
+            for u in self._out_lists[s]:
+                if u in pred_set:
+                    return True
+                row = rows.get(u)
+                if not row:
+                    continue
+                if len(row) < len(pred_set) and type(row) is dict:
+                    if not pred_set.isdisjoint(row):
+                        return True
+                else:
+                    for v in pred_set:
+                        if v in row:
+                            return True
+            return False
+        budget = k - 2
+        for u in self._out_lists[s]:
+            if b2_ok and u in pred_set:
+                return True  # s -> u -> t
+            row = rows.get(u)
+            if not row:
+                continue
+            if len(row) < len(pred_set) and type(row) is dict:
+                for v, w in row.items():
+                    if w <= budget and v in pred_set:
+                        return True
+            else:
+                for v in pred_set:
+                    w = row.get(v)
+                    if w is not None and w <= budget:
+                        return True
+        return False
+
+    def reaches(self, s: int, t: int) -> bool:
+        """Classic-reachability alias (meaningful for the n-reach mode)."""
+        return self.query(s, t)
+
+    def query_case(self, s: int, t: int) -> int:
+        """Which of Algorithm 2's four cases the query (s, t) falls into."""
+        flags = self._cover_flags
+        if not 0 <= s < len(flags) or not 0 <= t < len(flags):
+            raise ValueError("query vertex out of range")
+        if flags[s]:
+            return 1 if flags[t] else 2
+        return 3 if flags[t] else 4
+
+    def contains(self, v: int) -> bool:
+        """Whether ``v`` is in the index's vertex cover."""
+        return bool(self._cover_flags[v])
+
+    # ------------------------------------------------------------------
+    # Introspection & storage model
+    # ------------------------------------------------------------------
+    @property
+    def cover_size(self) -> int:
+        """``|V_I|`` — the size of the vertex cover."""
+        return len(self.cover)
+
+    @property
+    def edge_count(self) -> int:
+        """``|E_I|`` — the number of index edges."""
+        return sum(len(row) for row in self._rows.values())
+
+    def weight(self, u: int, v: int) -> int | None:
+        """The stored weight ``ω_I((u, v))``, or None if the edge is absent."""
+        row = self._rows.get(u)
+        return None if row is None else row.get(v)
+
+    def weighted_edges(self) -> list[tuple[int, int, int]]:
+        """All index edges as sorted ``(u, v, weight)`` triples."""
+        return sorted(
+            (u, v, w) for u, row in self._rows.items() for v, w in row.items()
+        )
+
+    def weight_bits(self) -> int:
+        """Bits per stored edge weight.
+
+        §4.3: a fixed-k index needs only 2 bits (three values).  The
+        n-reach mode stores no distance information at all, so 0 bits.
+        """
+        return 2 if self.k is not None else 0
+
+    def storage_bytes(self) -> int:
+        """Modeled on-disk size of the index (§4.3 storage scheme).
+
+        Plain rows: CSR over the cover — 4-byte ids for the cover members
+        and edge targets, 4-byte offsets, a packed 2-bit weight array.
+        Compressed rows: their WAH words.  Plus an n-bit cover-membership
+        bitmap for the O(1) case dispatch.
+        """
+        n_i = self.cover_size
+        plain_edges = 0
+        compressed_bytes = 0
+        for row in self._rows.values():
+            if type(row) is dict:
+                plain_edges += len(row)
+            else:
+                compressed_bytes += row.storage_bytes()
+        id_bytes = 4 * n_i  # cover-vertex id table
+        indptr_bytes = 4 * (n_i + 1)
+        indices_bytes = 4 * plain_edges
+        weight_bytes = (plain_edges * self.weight_bits() + 7) // 8
+        bitmap_bytes = (self.graph.n + 7) // 8
+        return (
+            id_bytes
+            + indptr_bytes
+            + indices_bytes
+            + weight_bytes
+            + compressed_bytes
+            + bitmap_bytes
+        )
+
+    def packed_weights(self) -> PackedIntArray:
+        """The edge weights packed at 2 bits each (0 ↦ k-2, 1 ↦ k-1, 2 ↦ k).
+
+        This is the §4.3 physical encoding; provided for inspection and to
+        keep the storage model honest.  Only defined for finite ``k``.
+        """
+        if self.k is None:
+            raise ValueError("n-reach stores no weights")
+        floor = self.k - 2
+        values = [w - floor for _, _, w in self.weighted_edges()]
+        return PackedIntArray.from_values(values, bits=2)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        k = "inf" if self.k is None else self.k
+        return (
+            f"KReachIndex(k={k}, |V_I|={self.cover_size}, |E_I|={self.edge_count})"
+        )

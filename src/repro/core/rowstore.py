@@ -1,0 +1,115 @@
+"""Compressed storage for high-degree index rows (§4.3).
+
+The paper notes that high-degree vertices of ``G`` tend to be high-degree
+in the index graph ``I`` too, inflating both storage and Case-2/3/4 scan
+cost, and proposes storing their neighbor sets "in a more compact way,
+such as interval lists or partitioned word aligned hybrid compression …
+we only need to locate the corresponding interval or bits for query
+processing, instead of searching the list of neighbors."
+
+:class:`CompressedRow` implements exactly that: one WAH bitmap per weight
+level over the vertex-id space.  Because a k-reach row has at most three
+weight levels (``k-2``, ``k-1``, ``k``), membership-with-budget reduces to
+at most three compressed bit probes.  The class quacks like the plain
+``dict`` rows (:meth:`get`, ``in``, ``len``, :meth:`items`), so the query
+algorithms in :mod:`repro.core.kreach` are storage-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.bitsets.wah import WahBitVector
+
+__all__ = ["CompressedRow", "compress_rows"]
+
+
+class CompressedRow:
+    """A k-reach index row stored as per-weight-level WAH bitmaps.
+
+    Parameters
+    ----------
+    row:
+        The plain ``{target: weight}`` dict to compress.
+    universe:
+        Vertex-id universe size (bitmap width).
+
+    Examples
+    --------
+    >>> row = CompressedRow({2: 1, 5: 3, 9: 1}, universe=16)
+    >>> row.get(5), row.get(4)
+    (3, None)
+    >>> 2 in row, len(row)
+    (True, 3)
+    """
+
+    __slots__ = ("_levels", "_size", "universe")
+
+    def __init__(self, row: dict[int, int], universe: int) -> None:
+        by_weight: dict[int, list[int]] = {}
+        for v, w in row.items():
+            by_weight.setdefault(w, []).append(v)
+        self._levels: list[tuple[int, WahBitVector]] = [
+            (w, WahBitVector.from_indices(universe, sorted(targets)))
+            for w, targets in sorted(by_weight.items())
+        ]
+        self._size = len(row)
+        self.universe = universe
+
+    def get(self, v: int, default: int | None = None) -> int | None:
+        """The stored weight for target ``v`` (bit probes, low level first)."""
+        if not 0 <= v < self.universe:
+            return default
+        for weight, bitmap in self._levels:
+            if bitmap.test(v):
+                return weight
+        return default
+
+    def __contains__(self, v: int) -> bool:
+        return self.get(v) is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Iterate ``(target, weight)`` pairs (decompresses; not a hot path)."""
+        for weight, bitmap in self._levels:
+            for v in np.flatnonzero(bitmap.decompress()):
+                yield int(v), weight
+
+    def keys(self) -> Iterator[int]:
+        """Iterate target ids."""
+        for v, _ in self.items():
+            yield v
+
+    def weight_levels(self) -> list[int]:
+        """The distinct weights present (≤ 3 for a fixed-k index)."""
+        return [w for w, _ in self._levels]
+
+    def storage_bytes(self) -> int:
+        """Compressed words across all levels (4 bytes each)."""
+        return sum(bitmap.storage_bytes() for _, bitmap in self._levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompressedRow(size={self._size}, levels={self.weight_levels()})"
+
+
+def compress_rows(
+    rows: dict[int, dict[int, int]], universe: int, threshold: int
+) -> dict[int, "dict[int, int] | CompressedRow"]:
+    """Compress every row with at least ``threshold`` entries.
+
+    Small rows stay plain dicts (a bitmap would cost more than it saves and
+    dict probes are faster); hub rows become :class:`CompressedRow`.
+    """
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    out: dict[int, dict[int, int] | CompressedRow] = {}
+    for u, row in rows.items():
+        if len(row) >= threshold:
+            out[u] = CompressedRow(row, universe)
+        else:
+            out[u] = row
+    return out

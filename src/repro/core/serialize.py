@@ -1,0 +1,101 @@
+"""On-disk serialization of k-reach indexes.
+
+§4.1.3: "the constructed index is then stored on disk."  This module
+implements that step: a :class:`~repro.core.kreach.KReachIndex` is written
+as a single compressed ``.npz`` holding the §4.3 physical layout — the
+cover-id table, the index CSR (offsets + targets), the packed weight
+values — together with the graph's own CSR so a load is self-contained.
+
+Round-trip fidelity (identical query answers) is asserted in
+``tests/core/test_serialize.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kreach import KReachIndex
+from repro.graph.digraph import DiGraph
+
+__all__ = ["save_kreach", "load_kreach"]
+
+#: Stored sentinel for the unbounded (n-reach) mode.
+_K_UNBOUNDED = -1
+
+_FORMAT_VERSION = 1
+
+
+def save_kreach(index: KReachIndex, path: str | os.PathLike) -> None:
+    """Write ``index`` (and its graph) to ``path`` as compressed NPZ.
+
+    Compressed-row indexes are materialized back to the CSR layout for
+    storage — NPZ's deflate already compresses the arrays, and the loader
+    can re-enable row compression via its ``compress_rows_at`` argument.
+    """
+    g = index.graph
+    cover = np.asarray(sorted(index.cover), dtype=np.int64)
+    heads: list[int] = []
+    tails: list[int] = []
+    weights: list[int] = []
+    for u in cover.tolist():
+        row = index._rows.get(u)
+        if not row:
+            continue
+        for v, w in sorted(row.items()):
+            heads.append(u)
+            tails.append(v)
+            weights.append(w)
+    np.savez_compressed(
+        Path(path),
+        format_version=np.int64(_FORMAT_VERSION),
+        k=np.int64(_K_UNBOUNDED if index.k is None else index.k),
+        n=np.int64(g.n),
+        graph_out_indptr=g.out_indptr,
+        graph_out_indices=g.out_indices,
+        graph_in_indptr=g.in_indptr,
+        graph_in_indices=g.in_indices,
+        cover=cover,
+        edge_heads=np.asarray(heads, dtype=np.int64),
+        edge_tails=np.asarray(tails, dtype=np.int64),
+        edge_weights=np.asarray(weights, dtype=np.int64),
+    )
+
+
+def load_kreach(
+    path: str | os.PathLike, *, compress_rows_at: int | None = None
+) -> KReachIndex:
+    """Load an index written by :func:`save_kreach`.
+
+    The embedded graph is reconstructed directly from its CSR arrays (no
+    re-parsing of edges), and the index rows are reassembled verbatim —
+    no BFS runs at load time.
+    """
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported k-reach file version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        g = DiGraph(int(data["n"]))
+        g.out_indptr = data["graph_out_indptr"]
+        g.out_indices = data["graph_out_indices"]
+        g.in_indptr = data["graph_in_indptr"]
+        g.in_indices = data["graph_in_indices"]
+        g.m = int(len(g.out_indices))
+        k_raw = int(data["k"])
+        k = None if k_raw == _K_UNBOUNDED else k_raw
+        cover = frozenset(int(v) for v in data["cover"])
+        rows: dict[int, dict[int, int]] = {}
+        for u, v, w in zip(
+            data["edge_heads"].tolist(),
+            data["edge_tails"].tolist(),
+            data["edge_weights"].tolist(),
+        ):
+            rows.setdefault(int(u), {})[int(v)] = int(w)
+    return KReachIndex.from_parts(
+        g, k, cover=cover, rows=rows, compress_rows_at=compress_rows_at
+    )

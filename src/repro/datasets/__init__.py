@@ -1,0 +1,6 @@
+"""Calibrated synthetic stand-ins for the paper's 15 datasets + published numbers."""
+
+from repro.datasets import paper_tables
+from repro.datasets.registry import DATASET_NAMES, DATASETS, DatasetSpec, load, spec
+
+__all__ = ["DATASETS", "DATASET_NAMES", "DatasetSpec", "load", "spec", "paper_tables"]

@@ -1,0 +1,155 @@
+"""The 15-dataset registry mirroring the paper's Table 2.
+
+Each :class:`DatasetSpec` carries the *published* statistics of the real
+graph and a calibrated synthetic generator (see
+:mod:`repro.datasets.synthetic`).  :func:`load` materializes the stand-in
+at any scale; ``scale=1.0`` matches the paper's vertex counts exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.datasets import synthetic
+from repro.graph.digraph import DiGraph
+
+__all__ = ["DatasetSpec", "DATASETS", "DATASET_NAMES", "load", "spec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One dataset: published Table-2 row + synthetic stand-in generator."""
+
+    name: str
+    family: str
+    n: int
+    m: int
+    n_dag: int
+    m_dag: int
+    deg_max: int
+    diameter: int
+    mu: int
+    generator: Callable[[int, int, int], DiGraph]  # (n, m, seed) -> graph
+
+    def build(self, *, scale: float = 1.0, seed: int | None = None) -> DiGraph:
+        """Materialize the stand-in at the given scale (1.0 = paper-sized)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        n = max(16, int(self.n * scale))
+        m = max(16, int(self.m * scale))
+        if seed is None:
+            seed = _stable_seed(self.name)
+        return self.generator(n, m, seed)
+
+
+def _stable_seed(name: str) -> int:
+    """Deterministic per-dataset seed (stable across runs and processes)."""
+    return sum(ord(c) * (i + 1) for i, c in enumerate(name)) % (2**31)
+
+
+def _metabolic(hub_frac: float, scc_frac: float, chain_len: int):
+    def gen(n: int, m: int, seed: int) -> DiGraph:
+        return synthetic.metabolic_graph(
+            n,
+            m,
+            hub_degree_fraction=hub_frac,
+            scc_vertex_fraction=scc_frac,
+            chain_length=chain_len,
+            seed=seed,
+        )
+
+    return gen
+
+
+def _metabolic_core(core_frac: float, hub_frac: float, tail_len: int):
+    def gen(n: int, m: int, seed: int) -> DiGraph:
+        return synthetic.metabolic_core_graph(
+            n,
+            m,
+            core_fraction=core_frac,
+            hub_degree_fraction=hub_frac,
+            tail_length=tail_len,
+            seed=seed,
+        )
+
+    return gen
+
+
+def _citation(window_frac: float, preferential: float):
+    def gen(n: int, m: int, seed: int) -> DiGraph:
+        return synthetic.citation_graph(
+            n, m, window_fraction=window_frac, preferential=preferential, seed=seed
+        )
+
+    return gen
+
+
+def _xml(branching: int, trunk_depth: int | None, chain_len: int, num_chains: int, hub_frac: float):
+    def gen(n: int, m: int, seed: int) -> DiGraph:
+        return synthetic.xml_graph(
+            n,
+            m,
+            branching=branching,
+            trunk_depth=trunk_depth,
+            chain_length=chain_len,
+            num_chains=num_chains,
+            hub_fraction=hub_frac,
+            seed=seed,
+        )
+
+    return gen
+
+
+def _semantic(levels: int, top_frac: float, skew: float, spine: int):
+    def gen(n: int, m: int, seed: int) -> DiGraph:
+        return synthetic.semantic_graph(
+            n,
+            m,
+            levels=levels,
+            top_fraction=top_frac,
+            hub_skew=skew,
+            spine_length=spine,
+            seed=seed,
+        )
+
+    return gen
+
+
+#: Published Table-2 rows with calibrated generators, keyed by dataset name.
+DATASETS: dict[str, DatasetSpec] = {
+    s.name: s
+    for s in [
+        DatasetSpec("AgroCyc", "metabolic", 13969, 17694, 12684, 13657, 5488, 10, 2, _metabolic(0.39, 0.092, 6)),
+        DatasetSpec("aMaze", "metabolic-core", 11877, 28700, 3710, 3947, 3097, 11, 2, _metabolic_core(0.69, 0.26, 4)),
+        DatasetSpec("Anthra", "metabolic", 13766, 17307, 12499, 13327, 5401, 10, 2, _metabolic(0.39, 0.092, 6)),
+        DatasetSpec("ArXiv", "citation", 6000, 66707, 6000, 66707, 700, 20, 4, _citation(0.06, 0.75)),
+        DatasetSpec("CiteSeer", "citation", 10720, 44258, 10720, 44258, 192, 18, 3, _citation(0.09, 0.35)),
+        DatasetSpec("Ecoo", "metabolic", 13800, 17308, 12620, 13575, 5435, 10, 2, _metabolic(0.39, 0.085, 6)),
+        DatasetSpec("GO", "ontology", 6793, 13361, 6793, 13361, 71, 11, 3, _semantic(11, 0.0005, 0.0, 0)),
+        DatasetSpec("Human", "metabolic", 40051, 43879, 38811, 39816, 28571, 10, 2, _metabolic(0.71, 0.031, 6)),
+        DatasetSpec("Kegg", "metabolic-core", 14271, 35170, 3617, 4395, 3282, 16, 2, _metabolic_core(0.75, 0.23, 7)),
+        DatasetSpec("Mtbrv", "metabolic", 10697, 13922, 9602, 10438, 4005, 12, 2, _metabolic(0.37, 0.102, 8)),
+        DatasetSpec("Nasa", "xml", 5704, 7942, 5605, 6538, 32, 22, 7, _xml(2, 22, 4, 2, 0.0)),
+        DatasetSpec("PubMed", "citation", 9000, 40028, 9000, 40028, 432, 11, 4, _citation(0.40, 0.50)),
+        DatasetSpec("Vchocyc", "metabolic", 10694, 14207, 9491, 10345, 3917, 10, 2, _metabolic(0.37, 0.112, 6)),
+        DatasetSpec("Xmark", "xml", 6483, 7654, 6080, 7051, 887, 24, 5, _xml(10, None, 20, 3, 0.75)),
+        DatasetSpec("YAGO", "semantic", 6642, 42392, 6642, 42392, 2371, 9, 1, _semantic(2, 0.01, 1.05, 9)),
+    ]
+}
+
+#: Dataset names in the paper's (alphabetical) Table-2 order.
+DATASET_NAMES: tuple[str, ...] = tuple(DATASETS)
+
+
+def spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name."""
+    for key, value in DATASETS.items():
+        if key.lower() == name.lower():
+            return value
+    raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+
+
+def load(name: str, *, scale: float = 1.0, seed: int | None = None) -> DiGraph:
+    """Materialize a dataset stand-in by name."""
+    return spec(name).build(scale=scale, seed=seed)

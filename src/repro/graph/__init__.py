@@ -1,0 +1,45 @@
+"""Graph substrate: CSR digraph, traversals, SCC/DAG machinery, generators.
+
+This subpackage is self-contained (it only depends on numpy) and provides
+everything the paper's index — and every comparator index — is built on.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.nx import from_networkx, to_networkx
+from repro.graph.scc import Condensation, condensation, strongly_connected_components
+from repro.graph.stats import GraphSummary, graph_h_index, shortest_path_stats, summarize
+from repro.graph.topo import CycleError, is_acyclic, topological_order
+from repro.graph.traversal import (
+    UNREACHED,
+    bfs_distances,
+    bfs_distances_scalar,
+    bidirectional_reaches_within,
+    bounded_neighborhood,
+    reachable_set,
+    reaches_within_bfs,
+)
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "from_networkx",
+    "to_networkx",
+    "Condensation",
+    "condensation",
+    "strongly_connected_components",
+    "GraphSummary",
+    "graph_h_index",
+    "shortest_path_stats",
+    "summarize",
+    "CycleError",
+    "is_acyclic",
+    "topological_order",
+    "UNREACHED",
+    "bfs_distances",
+    "bfs_distances_scalar",
+    "bidirectional_reaches_within",
+    "bounded_neighborhood",
+    "reachable_set",
+    "reaches_within_bfs",
+]

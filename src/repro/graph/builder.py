@@ -1,0 +1,101 @@
+"""Incremental construction of :class:`~repro.graph.digraph.DiGraph`.
+
+:class:`DiGraph` is immutable; :class:`GraphBuilder` is the mutable
+accumulator used by generators, loaders and tests.  It accepts edges in any
+order, grows the vertex universe on demand, and produces a deduplicated CSR
+graph with :meth:`GraphBuilder.build`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Mutable edge accumulator producing an immutable :class:`DiGraph`.
+
+    Parameters
+    ----------
+    n:
+        Initial vertex-universe size.  ``add_edge`` extends it automatically
+        when an endpoint id is ``>= n``.
+    allow_self_loops:
+        Whether ``(u, u)`` edges survive into the built graph.
+
+    Examples
+    --------
+    >>> b = GraphBuilder()
+    >>> b.add_edge(0, 1)
+    >>> b.add_edges([(1, 2), (2, 0)])
+    >>> g = b.build()
+    >>> g.n, g.m
+    (3, 3)
+    """
+
+    def __init__(self, n: int = 0, *, allow_self_loops: bool = False) -> None:
+        if n < 0:
+            raise ValueError(f"vertex count must be non-negative, got {n}")
+        self._n = n
+        self._edges: list[tuple[int, int]] = []
+        self._allow_self_loops = allow_self_loops
+
+    @property
+    def n(self) -> int:
+        """Current vertex-universe size."""
+        return self._n
+
+    @property
+    def edge_count(self) -> int:
+        """Edges accumulated so far (before dedup)."""
+        return len(self._edges)
+
+    def ensure_vertex(self, v: int) -> None:
+        """Grow the universe so that vertex ``v`` exists."""
+        if v < 0:
+            raise ValueError(f"vertex id must be non-negative, got {v}")
+        if v >= self._n:
+            self._n = v + 1
+
+    def add_vertex(self) -> int:
+        """Append a fresh isolated vertex, returning its id."""
+        self._n += 1
+        return self._n - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the directed edge ``(u, v)``, growing the universe if needed."""
+        self.ensure_vertex(u)
+        self.ensure_vertex(v)
+        self._edges.append((u, v))
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Add many directed edges."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_path(self, vertices: Iterable[int]) -> None:
+        """Add the directed path ``v0 -> v1 -> ... -> vk``.
+
+        A single vertex adds no edge but still joins the universe.
+        """
+        prev: int | None = None
+        for v in vertices:
+            self.ensure_vertex(v)
+            if prev is not None:
+                self.add_edge(prev, v)
+            prev = v
+
+    def add_cycle(self, vertices: Iterable[int]) -> None:
+        """Add the directed cycle through ``vertices`` (closing edge included)."""
+        vs = list(vertices)
+        if len(vs) < 2:
+            raise ValueError("a cycle needs at least two vertices")
+        self.add_path(vs)
+        self.add_edge(vs[-1], vs[0])
+
+    def build(self) -> DiGraph:
+        """Produce the immutable CSR graph (duplicates collapsed)."""
+        return DiGraph(self._n, self._edges, allow_self_loops=self._allow_self_loops)

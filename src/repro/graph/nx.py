@@ -1,0 +1,76 @@
+"""networkx interoperability.
+
+Optional bridge for downstream users whose graphs already live in
+networkx: convert to :class:`~repro.graph.digraph.DiGraph` to build
+indexes, and back for visualization/analysis.  networkx is imported
+lazily so the core package keeps numpy as its only hard dependency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.graph.digraph import DiGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise ImportError(
+            "networkx is required for this conversion: pip install networkx"
+        ) from exc
+    return networkx
+
+
+def from_networkx(graph: "networkx.DiGraph") -> DiGraph:
+    """Convert a networkx DiGraph (any hashable node labels).
+
+    Node labels are preserved through the label table:
+    ``result.vertex_id(label)`` / ``result.vertex_label(i)``.  Isolated
+    nodes are kept; parallel edges (MultiDiGraph) collapse; self-loops are
+    dropped (the paper's graphs are simple).
+
+    >>> import networkx as nx
+    >>> g = from_networkx(nx.DiGraph([("a", "b"), ("b", "c")]))
+    >>> g.n, g.m
+    (3, 2)
+    >>> g.vertex_id("c")
+    2
+    """
+    networkx = _require_networkx()
+    if not graph.is_directed():
+        raise ValueError(
+            "expected a directed graph; call .to_directed() first if the "
+            "symmetric interpretation is intended"
+        )
+    label_to_id = {label: i for i, label in enumerate(graph.nodes())}
+    edges = [(label_to_id[u], label_to_id[v]) for u, v in graph.edges()]
+    out = DiGraph(graph.number_of_nodes(), edges)
+    out._labels = list(graph.nodes())
+    out._label_to_id = label_to_id
+    return out
+
+
+def to_networkx(graph: DiGraph) -> "networkx.DiGraph":
+    """Convert to a networkx DiGraph.
+
+    Labeled graphs keep their labels as node identifiers; unlabeled graphs
+    use the dense integer ids.
+    """
+    networkx = _require_networkx()
+    out = networkx.DiGraph()
+    if graph.has_labels:
+        out.add_nodes_from(graph.vertex_label(v) for v in range(graph.n))
+        out.add_edges_from(
+            (graph.vertex_label(u), graph.vertex_label(v)) for u, v in graph.edges()
+        )
+    else:
+        out.add_nodes_from(range(graph.n))
+        out.add_edges_from(graph.edges())
+    return out

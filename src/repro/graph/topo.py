@@ -1,0 +1,58 @@
+"""Topological ordering of directed acyclic graphs.
+
+Used by the DAG-based baseline indexes (transitive closure, PWAH, tree
+cover, chain cover), all of which sweep the condensation DAG in reverse
+topological order to propagate reachability sets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["topological_order", "is_acyclic", "CycleError"]
+
+
+class CycleError(ValueError):
+    """Raised when a topological order is requested for a cyclic graph."""
+
+
+def topological_order(g: DiGraph) -> np.ndarray:
+    """Kahn's algorithm.
+
+    Returns vertex ids such that every edge goes from an earlier to a later
+    position.  Raises :class:`CycleError` if ``g`` has a directed cycle.
+    Ties are broken by vertex id (smallest first) so the order is
+    deterministic.
+    """
+    indeg = g.in_degrees().copy()
+    # A deque of currently-source vertices; seeded in id order.
+    ready: deque[int] = deque(int(v) for v in np.flatnonzero(indeg == 0))
+    order = np.empty(g.n, dtype=np.int64)
+    filled = 0
+    while ready:
+        u = ready.popleft()
+        order[filled] = u
+        filled += 1
+        for v in g.out_neighbors(u):
+            v = int(v)
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                ready.append(v)
+    if filled != g.n:
+        raise CycleError(
+            f"graph is not acyclic: {g.n - filled} vertices lie on cycles"
+        )
+    return order
+
+
+def is_acyclic(g: DiGraph) -> bool:
+    """Whether ``g`` contains no directed cycle."""
+    try:
+        topological_order(g)
+    except CycleError:
+        return False
+    return True

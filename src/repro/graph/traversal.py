@@ -1,0 +1,363 @@
+"""Breadth-first and depth-first traversal kernels.
+
+Every index in this package is built from (possibly bounded) BFS sweeps, and
+the online baselines in :mod:`repro.baselines.bfs` answer queries with
+bounded BFS directly, so these kernels are the hot path of the whole
+reproduction.  Two implementations are provided:
+
+* :func:`bfs_distances` — level-synchronous, vectorized over numpy frontier
+  arrays.  Used for index construction, where each sweep may touch a large
+  fraction of the graph.
+* :func:`reaches_within_bfs` / :func:`bounded_neighborhood` — scalar,
+  early-exiting deque versions.  Used at query time, where the expected
+  frontier is tiny and numpy call overhead would dominate.
+
+All functions take ``direction='out'`` (follow edges forward) or
+``direction='in'`` (follow edges backward, i.e. BFS on the transpose).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "gather_neighbors",
+    "bfs_distances",
+    "bfs_distances_scalar",
+    "reachable_set",
+    "reaches_within_bfs",
+    "reaches_within_small",
+    "bidirectional_reaches_within",
+    "bounded_neighborhood",
+    "khop_neighbors",
+    "dfs_postorder",
+    "eccentricity",
+]
+
+UNREACHED = -1
+
+
+def _csr(g: DiGraph, direction: str) -> tuple[np.ndarray, np.ndarray]:
+    """The (indptr, indices) pair for the requested direction."""
+    if direction == "out":
+        return g.out_indptr, g.out_indices
+    if direction == "in":
+        return g.in_indptr, g.in_indices
+    raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+
+
+def gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> np.ndarray:
+    """All neighbors of the vertices in ``frontier``, concatenated.
+
+    Vectorized gather: for CSR ``(indptr, indices)`` and a frontier of ``f``
+    vertices whose adjacency lists hold ``t`` entries in total, this runs in
+    O(f + t) numpy work with no Python-level loop.
+    """
+    starts = indptr[frontier]
+    counts = (indptr[frontier + 1] - starts).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    # positions[i] = starts[j] + (i - cum_counts[j]) for the j-th frontier vertex
+    cum = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=cum[1:])
+    positions = np.repeat(starts - cum, counts) + np.arange(total, dtype=np.int64)
+    return indices[positions]
+
+
+def bfs_distances(
+    g: DiGraph,
+    source: int,
+    *,
+    k: int | None = None,
+    direction: str = "out",
+) -> np.ndarray:
+    """Vectorized BFS distances from ``source``.
+
+    Returns an ``int32`` array ``dist`` of length ``g.n`` with
+    ``dist[v] = d(source, v)`` for vertices within ``k`` hops (all reachable
+    vertices when ``k`` is None) and :data:`UNREACHED` (-1) elsewhere.
+    ``dist[source]`` is 0.
+    """
+    if not 0 <= source < g.n:
+        raise ValueError(f"source {source} out of range [0, {g.n})")
+    if k is not None and k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    indptr, indices = _csr(g, direction)
+    dist = np.full(g.n, UNREACHED, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        if k is not None and level >= k:
+            break
+        nxt = gather_neighbors(indptr, indices, frontier)
+        if not len(nxt):
+            break
+        nxt = nxt[dist[nxt] == UNREACHED]
+        if not len(nxt):
+            break
+        nxt = np.unique(nxt)
+        level += 1
+        dist[nxt] = level
+        frontier = nxt.astype(np.int64)
+    return dist
+
+
+def bfs_distances_scalar(
+    g: DiGraph,
+    source: int,
+    *,
+    k: int | None = None,
+    direction: str = "out",
+) -> dict[int, int]:
+    """Scalar BFS distances, returned sparsely as ``{vertex: distance}``.
+
+    Preferable to :func:`bfs_distances` when the k-hop ball around
+    ``source`` is expected to be much smaller than the graph, because it
+    allocates proportionally to the ball rather than to ``g.n``.
+    """
+    if not 0 <= source < g.n:
+        raise ValueError(f"source {source} out of range [0, {g.n})")
+    if k is not None and k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    indptr, indices = _csr(g, direction)
+    dist = {source: 0}
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if k is not None and du >= k:
+            continue
+        for v in indices[indptr[u] : indptr[u + 1]]:
+            v = int(v)
+            if v not in dist:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def reachable_set(g: DiGraph, source: int, *, direction: str = "out") -> set[int]:
+    """All vertices reachable from ``source`` (including itself)."""
+    dist = bfs_distances(g, source, direction=direction)
+    return set(int(v) for v in np.flatnonzero(dist != UNREACHED))
+
+
+def reaches_within_bfs(g: DiGraph, s: int, t: int, k: int | None) -> bool:
+    """Ground-truth k-hop reachability by early-exiting BFS.
+
+    This is the paper's "k-hop BFS" online baseline (µ-BFS in Table 7) and
+    doubles as the oracle against which every index is tested.  ``k=None``
+    means classic (unbounded) reachability.
+    """
+    if not 0 <= s < g.n or not 0 <= t < g.n:
+        raise ValueError("query vertex out of range")
+    if s == t:
+        return k is None or k >= 0
+    if k is not None and k <= 0:
+        return False
+    indptr, indices = g.out_indptr, g.out_indices
+    seen = {s}
+    frontier = [s]
+    level = 0
+    while frontier:
+        if k is not None and level >= k:
+            return False
+        nxt: list[int] = []
+        for u in frontier:
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                v = int(v)
+                if v == t:
+                    return True
+                if v not in seen:
+                    seen.add(v)
+                    nxt.append(v)
+        frontier = nxt
+        level += 1
+    return False
+
+
+def bidirectional_reaches_within(g: DiGraph, s: int, t: int, k: int | None) -> bool:
+    """k-hop reachability by meet-in-the-middle BFS.
+
+    Expands the smaller of the forward ball around ``s`` and the backward
+    ball around ``t`` one level at a time until the level budgets add up to
+    ``k`` or the frontiers intersect.  Exponentially cheaper than one-sided
+    BFS on expander-like graphs; used as an ablation baseline.
+    """
+    if not 0 <= s < g.n or not 0 <= t < g.n:
+        raise ValueError("query vertex out of range")
+    if s == t:
+        return k is None or k >= 0
+    if k is not None and k <= 0:
+        return False
+    if k is None:
+        k = g.n  # a simple path never exceeds n-1 edges
+
+    fwd_seen = {s}
+    bwd_seen = {t}
+    fwd_frontier = {s}
+    bwd_frontier = {t}
+    fwd_depth = 0
+    bwd_depth = 0
+
+    while fwd_frontier and bwd_frontier and fwd_depth + bwd_depth < k:
+        # Expand the cheaper side (by current frontier adjacency volume).
+        if len(fwd_frontier) <= len(bwd_frontier):
+            nxt: set[int] = set()
+            for u in fwd_frontier:
+                for v in g.out_neighbors(u):
+                    v = int(v)
+                    if v in bwd_seen:
+                        return True
+                    if v not in fwd_seen:
+                        fwd_seen.add(v)
+                        nxt.add(v)
+            fwd_frontier = nxt
+            fwd_depth += 1
+        else:
+            nxt = set()
+            for u in bwd_frontier:
+                for v in g.in_neighbors(u):
+                    v = int(v)
+                    if v in fwd_seen:
+                        return True
+                    if v not in bwd_seen:
+                        bwd_seen.add(v)
+                        nxt.add(v)
+            bwd_frontier = nxt
+            bwd_depth += 1
+    return False
+
+
+def reaches_within_small(g: DiGraph, s: int, t: int, k: int) -> bool:
+    """Specialized ``dist(s, t) <= k`` for tiny hop budgets (k <= 3).
+
+    Pure neighbor-set algebra — never materializes a radius-2 ball:
+
+    * k = 1: edge test;
+    * k = 2: edge test or ``out(s) ∩ in(t)``;
+    * k = 3: additionally, an edge between ``out(s)`` and ``in(t)``.
+
+    On hub graphs this is the difference between O(deg) and an
+    O(hub-ball) expansion: a hub's 2-hop ball can cover most of the
+    graph, while its neighbor list is just its degree.
+    """
+    if s == t:
+        return True
+    if k <= 0:
+        return False
+    out_s = g.out_lists()[s]
+    if t in out_s:
+        return True
+    if k == 1 or not out_s:
+        return False
+    in_t = g.in_lists()[t]
+    if not in_t:
+        return False
+    in_t_set = set(in_t)
+    if not in_t_set.isdisjoint(out_s):
+        return True
+    if k == 2:
+        return False
+    # k == 3: some edge (a, b) with a in out(s), b in in(t).  Probe the
+    # smaller side's adjacency against the other side's set.
+    out_lists = g.out_lists()
+    if len(out_s) <= len(in_t):
+        for a in out_s:
+            row = out_lists[a]
+            if len(row) < len(in_t_set):
+                if any(b in in_t_set for b in row):
+                    return True
+            elif not in_t_set.isdisjoint(row):
+                return True
+        return False
+    in_lists = g.in_lists()
+    out_s_set = set(out_s)
+    for b in in_t:
+        row = in_lists[b]
+        if len(row) < len(out_s_set):
+            if any(a in out_s_set for a in row):
+                return True
+        elif not out_s_set.isdisjoint(row):
+            return True
+    return False
+
+
+def bounded_neighborhood(
+    g: DiGraph, v: int, h: int, *, direction: str = "out"
+) -> dict[int, int]:
+    """Vertices within ``h`` hops of ``v`` with their exact distances.
+
+    ``direction='out'`` gives ``{u: d(v, u)}`` (the paper's ``outNei_i``),
+    ``direction='in'`` gives ``{u: d(u, v)}`` (``inNei_i``).  ``v`` itself is
+    included with distance 0.  Scalar implementation tuned for the tiny
+    ``h`` used at query time.
+    """
+    return bfs_distances_scalar(g, v, k=h, direction=direction)
+
+
+def khop_neighbors(
+    g: DiGraph, v: int, h: int, *, direction: str = "out"
+) -> Iterator[tuple[int, int]]:
+    """Iterate ``(vertex, distance)`` pairs with ``1 <= distance <= h``."""
+    for u, d in bounded_neighborhood(g, v, h, direction=direction).items():
+        if d >= 1:
+            yield u, d
+
+
+def dfs_postorder(g: DiGraph, order: np.ndarray | None = None) -> np.ndarray:
+    """Post-order of an iterative DFS over the whole graph.
+
+    ``order`` optionally fixes the root/child visiting priority (a
+    permutation of vertex ids); GRAIL uses random permutations.  Returns the
+    vertex ids in post-order (every vertex appears exactly once).
+    """
+    if order is None:
+        order = np.arange(g.n, dtype=np.int64)
+    visited = np.zeros(g.n, dtype=bool)
+    post: list[int] = []
+    for root in order:
+        root = int(root)
+        if visited[root]:
+            continue
+        visited[root] = True
+        # Stack holds (vertex, iterator over prioritized children).
+        stack: list[tuple[int, Iterator[int]]] = [(root, _child_iter(g, root, order))]
+        while stack:
+            u, it = stack[-1]
+            advanced = False
+            for v in it:
+                if not visited[v]:
+                    visited[v] = True
+                    stack.append((v, _child_iter(g, v, order)))
+                    advanced = True
+                    break
+            if not advanced:
+                post.append(u)
+                stack.pop()
+    return np.asarray(post, dtype=np.int64)
+
+
+def _child_iter(g: DiGraph, u: int, priority: np.ndarray) -> Iterator[int]:
+    """Out-neighbors of ``u`` ordered by the given priority permutation."""
+    nbrs = g.out_neighbors(u)
+    if len(nbrs) == 0:
+        return iter(())
+    ranks = priority[nbrs] if len(priority) == g.n else nbrs
+    order = np.argsort(ranks, kind="stable")
+    return iter(int(v) for v in nbrs[order])
+
+
+def eccentricity(g: DiGraph, v: int, *, direction: str = "out") -> int:
+    """Largest finite BFS distance from ``v`` (0 if nothing is reachable)."""
+    dist = bfs_distances(g, v, direction=direction)
+    reached = dist[dist != UNREACHED]
+    return int(reached.max()) if len(reached) else 0

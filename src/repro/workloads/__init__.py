@@ -1,0 +1,10 @@
+"""Query workload generators (random, celebrity-biased, positive-biased)."""
+
+from repro.workloads.queries import (
+    case_distribution,
+    celebrity_pairs,
+    positive_pairs,
+    random_pairs,
+)
+
+__all__ = ["random_pairs", "celebrity_pairs", "positive_pairs", "case_distribution"]

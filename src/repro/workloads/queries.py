@@ -1,0 +1,115 @@
+"""Query workload generators.
+
+The paper evaluates every index on **1 million uniformly random vertex
+pairs** (§6.2.2, with Table 8 showing the induced Case-1..4 mix).  This
+module generates that workload plus two structured variants used by the
+examples and ablations:
+
+* :func:`random_pairs` — the paper's workload;
+* :func:`celebrity_pairs` — pairs whose source or target is a high-degree
+  vertex (the §4.3 "Lady Gaga" scenario);
+* :func:`positive_pairs` — pairs guaranteed reachable within a hop budget
+  (for workloads needing a controlled positive rate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import bfs_distances_scalar
+
+__all__ = [
+    "random_pairs",
+    "celebrity_pairs",
+    "positive_pairs",
+    "case_distribution",
+]
+
+
+def random_pairs(
+    n: int, count: int, *, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """``count`` uniform (s, t) pairs over ``[0, n)`` as an (count, 2) array."""
+    if n < 1:
+        raise ValueError(f"need at least one vertex, got n={n}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = rng or np.random.default_rng(0)
+    return rng.integers(0, n, size=(count, 2), dtype=np.int64)
+
+
+def celebrity_pairs(
+    g: DiGraph,
+    count: int,
+    *,
+    top_fraction: float = 0.001,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Pairs with one endpoint drawn from the highest-degree vertices.
+
+    Models the paper's observation that "high-degree vertices may indeed
+    have a higher probability to be picked as query vertices".  Each pair
+    has its celebrity on a random side.
+    """
+    if g.n < 1:
+        raise ValueError("graph has no vertices")
+    rng = rng or np.random.default_rng(0)
+    top_k = max(1, int(g.n * top_fraction))
+    celebrities = np.argsort(-g.degrees(), kind="stable")[:top_k]
+    celeb = rng.choice(celebrities, size=count)
+    other = rng.integers(0, g.n, size=count)
+    side = rng.random(count) < 0.5
+    pairs = np.empty((count, 2), dtype=np.int64)
+    pairs[:, 0] = np.where(side, celeb, other)
+    pairs[:, 1] = np.where(side, other, celeb)
+    return pairs
+
+
+def positive_pairs(
+    g: DiGraph,
+    count: int,
+    *,
+    k: int | None = None,
+    rng: np.random.Generator | None = None,
+    max_attempts_factor: int = 50,
+) -> np.ndarray:
+    """Pairs with ``s →k t`` guaranteed (``k=None``: plain reachability).
+
+    Sampled by picking random sources and random members of their
+    (k-bounded) forward BFS ball.  Raises if the graph is so disconnected
+    that positives cannot be found within the attempt budget.
+    """
+    if g.n < 1:
+        raise ValueError("graph has no vertices")
+    rng = rng or np.random.default_rng(0)
+    out: list[tuple[int, int]] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * max(1, count)
+    while len(out) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"could not sample {count} positive pairs in {max_attempts} attempts"
+            )
+        s = int(rng.integers(0, g.n))
+        ball = [v for v in bfs_distances_scalar(g, s, k=k) if v != s]
+        if not ball:
+            continue
+        t = ball[int(rng.integers(0, len(ball)))]
+        out.append((s, t))
+    return np.asarray(out, dtype=np.int64)
+
+
+def case_distribution(index, pairs: np.ndarray) -> dict[int, float]:
+    """Fraction of ``pairs`` per Algorithm-2/3 case (the paper's Table 8).
+
+    ``index`` must expose ``query_case(s, t) -> int`` (both
+    :class:`~repro.core.kreach.KReachIndex` and
+    :class:`~repro.core.hkreach.HKReachIndex` do).
+    """
+    counts = {1: 0, 2: 0, 3: 0, 4: 0}
+    for s, t in pairs:
+        counts[index.query_case(int(s), int(t))] += 1
+    total = max(1, len(pairs))
+    return {case: counts[case] / total for case in counts}

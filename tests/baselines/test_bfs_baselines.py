@@ -1,0 +1,61 @@
+"""BFS / bidirectional-BFS baseline tests (the index-free comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bfs import BfsIndex
+from repro.baselines.bibfs import BidirectionalBfsIndex
+from repro.graph.generators import cycle_graph, gnp_digraph, path_graph
+
+from tests.conftest import brute_force_khop
+
+
+class TestBfsIndex:
+    def test_khop_boundaries(self):
+        idx = BfsIndex(path_graph(6))
+        assert idx.reaches_within(0, 3, 3)
+        assert not idx.reaches_within(0, 3, 2)
+        assert idx.reaches_within(2, 2, 0)
+
+    def test_negative_k(self):
+        idx = BfsIndex(path_graph(3))
+        with pytest.raises(ValueError):
+            idx.reaches_within(0, 1, -1)
+
+    def test_zero_storage(self):
+        assert BfsIndex(path_graph(3)).storage_bytes() == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_khop_matches_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        g = gnp_digraph(20, 0.12, seed=seed)
+        idx = BfsIndex(g)
+        for _ in range(80):
+            s, t = int(rng.integers(0, g.n)), int(rng.integers(0, g.n))
+            k = int(rng.integers(0, 6))
+            assert idx.reaches_within(s, t, k) == brute_force_khop(g, s, t, k)
+
+
+class TestBidirectionalBfsIndex:
+    def test_khop_boundaries(self):
+        idx = BidirectionalBfsIndex(cycle_graph(6))
+        assert idx.reaches_within(0, 3, 3)
+        assert not idx.reaches_within(0, 3, 2)
+
+    def test_negative_k(self):
+        idx = BidirectionalBfsIndex(path_graph(3))
+        with pytest.raises(ValueError):
+            idx.reaches_within(0, 1, -1)
+
+    def test_zero_storage(self):
+        assert BidirectionalBfsIndex(path_graph(3)).storage_bytes() == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_khop_matches_oracle(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        g = gnp_digraph(25, 0.1, seed=seed)
+        idx = BidirectionalBfsIndex(g)
+        for _ in range(80):
+            s, t = int(rng.integers(0, g.n)), int(rng.integers(0, g.n))
+            k = int(rng.integers(0, 7))
+            assert idx.reaches_within(s, t, k) == brute_force_khop(g, s, t, k)

@@ -1,0 +1,70 @@
+"""The central baseline correctness test: every comparator index answers
+classic reachability exactly like BFS, on the whole graph corpus."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BfsIndex,
+    BidirectionalBfsIndex,
+    ChainCoverIndex,
+    GrailIndex,
+    PathTreeIndex,
+    PrunedLandmarkIndex,
+    PwahIndex,
+    TransitiveClosureIndex,
+)
+from repro.graph.generators import gnp_digraph
+
+from tests.conftest import all_pairs, brute_force_khop, graph_corpus
+
+FACTORIES = {
+    "bfs": BfsIndex,
+    "bibfs": BidirectionalBfsIndex,
+    "tc": TransitiveClosureIndex,
+    "grail": lambda g: GrailIndex(g, num_labels=2, seed=1),
+    "pwah": PwahIndex,
+    "ptree": PathTreeIndex,
+    "chain-greedy": ChainCoverIndex,
+    "chain-matching": lambda g: ChainCoverIndex(g, decomposition="matching"),
+    "pll": PrunedLandmarkIndex,
+}
+
+
+@pytest.mark.parametrize("name", FACTORIES)
+def test_matches_bfs_on_corpus(name):
+    for g in graph_corpus():
+        index = FACTORIES[name](g)
+        for s, t in all_pairs(g):
+            assert index.reaches(s, t) == brute_force_khop(g, s, t, None), (
+                name,
+                g,
+                s,
+                t,
+            )
+
+
+@pytest.mark.parametrize("name", FACTORIES)
+@pytest.mark.parametrize("seed", [10, 11])
+def test_matches_bfs_on_random_graphs(name, seed):
+    rng = np.random.default_rng(seed)
+    g = gnp_digraph(int(rng.integers(15, 45)), float(rng.uniform(0.03, 0.2)), seed=seed)
+    index = FACTORIES[name](g)
+    for _ in range(150):
+        s, t = int(rng.integers(0, g.n)), int(rng.integers(0, g.n))
+        assert index.reaches(s, t) == brute_force_khop(g, s, t, None), (name, s, t)
+
+
+@pytest.mark.parametrize("name", FACTORIES)
+def test_out_of_range_rejected(name):
+    g = gnp_digraph(10, 0.2, seed=0)
+    index = FACTORIES[name](g)
+    with pytest.raises(ValueError):
+        index.reaches(0, 99)
+
+
+@pytest.mark.parametrize("name", FACTORIES)
+def test_storage_bytes_nonnegative(name):
+    g = gnp_digraph(12, 0.15, seed=3)
+    index = FACTORIES[name](g)
+    assert index.storage_bytes() >= 0

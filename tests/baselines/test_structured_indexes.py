@@ -1,0 +1,190 @@
+"""Per-index structural tests for the precomputed comparators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import IndexBudgetExceeded, UnsupportedQueryError
+from repro.baselines.chain_cover import ChainCoverIndex
+from repro.baselines.grail import GrailIndex
+from repro.baselines.path_tree import PathTreeIndex, _coalesce
+from repro.baselines.pll import PrunedLandmarkIndex
+from repro.baselines.pwah import PwahIndex
+from repro.baselines.transitive_closure import TransitiveClosureIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    cycle_graph,
+    gnp_digraph,
+    path_graph,
+    random_dag,
+    star_graph,
+)
+from repro.graph.traversal import UNREACHED, bfs_distances
+from repro.workloads import random_pairs
+
+
+class TestTransitiveClosure:
+    def test_reachable_count(self):
+        idx = TransitiveClosureIndex(path_graph(5))
+        assert idx.reachable_count(0) == 5
+        assert idx.reachable_count(4) == 1
+
+    def test_reachable_count_with_scc(self):
+        g = DiGraph(4, [(0, 1), (1, 0), (1, 2)])
+        idx = TransitiveClosureIndex(g)
+        assert idx.reachable_count(0) == 3  # {0, 1, 2}
+
+    def test_same_scc_is_reachable(self):
+        idx = TransitiveClosureIndex(cycle_graph(4))
+        assert idx.reaches(2, 2 - 1)
+
+    def test_khop_unsupported(self):
+        idx = TransitiveClosureIndex(path_graph(3))
+        with pytest.raises(UnsupportedQueryError):
+            idx.reaches_within(0, 1, 1)
+
+
+class TestGrail:
+    def test_num_labels_validation(self):
+        with pytest.raises(ValueError):
+            GrailIndex(path_graph(3), num_labels=0)
+
+    def test_more_labels_cost_more_storage(self):
+        g = gnp_digraph(30, 0.1, seed=1)
+        a = GrailIndex(g, num_labels=2)
+        b = GrailIndex(g, num_labels=5)
+        assert b.storage_bytes() > a.storage_bytes()
+
+    def test_exception_rate_bounds(self):
+        g = gnp_digraph(40, 0.08, seed=2)
+        idx = GrailIndex(g, num_labels=3)
+        rate = idx.exception_rate(random_pairs(g.n, 300))
+        assert 0.0 <= rate <= 1.0
+
+    def test_intervals_are_containment_sound(self):
+        # interval containment is a necessary condition: wherever the truth
+        # is "reachable", the filter must pass (no false negatives).
+        g = random_dag(30, 70, seed=3)
+        idx = GrailIndex(g, num_labels=3, seed=5)
+        for s in range(g.n):
+            dist = bfs_distances(g, s)
+            for t in range(g.n):
+                if s != t and dist[t] != UNREACHED:
+                    cs, ct = int(idx._comp[s]), int(idx._comp[t])
+                    assert idx._maybe_reaches(cs, ct)
+
+    def test_khop_unsupported(self):
+        idx = GrailIndex(path_graph(3))
+        with pytest.raises(UnsupportedQueryError):
+            idx.reaches_within(0, 1, 1)
+
+
+class TestPwah:
+    def test_compression_ratio_on_sparse_graph(self):
+        # a star's TC rows are tiny: compression should beat raw bitmaps
+        idx = PwahIndex(star_graph(500))
+        assert idx.compression_ratio() > 1.0
+
+    def test_khop_unsupported(self):
+        idx = PwahIndex(path_graph(3))
+        with pytest.raises(UnsupportedQueryError):
+            idx.reaches_within(0, 1, 1)
+
+    def test_cyclic_input_handled_via_condensation(self):
+        g = DiGraph(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        idx = PwahIndex(g)
+        assert idx.reaches(0, 4)
+        assert not idx.reaches(4, 0)
+        assert idx.reaches(1, 0)  # same SCC
+
+
+class TestPathTree:
+    def test_coalesce(self):
+        assert _coalesce([]) == []
+        assert _coalesce([(1, 3), (2, 5)]) == [(1, 5)]
+        assert _coalesce([(1, 2), (3, 4)]) == [(1, 4)]  # adjacent merge
+        assert _coalesce([(1, 2), (4, 5)]) == [(1, 2), (4, 5)]
+        assert _coalesce([(4, 5), (1, 2)]) == [(1, 2), (4, 5)]
+        assert _coalesce([(1, 10), (2, 3)]) == [(1, 10)]
+
+    def test_interval_count_reasonable_on_tree(self):
+        # on a pure tree the tree interval alone suffices: 1 per vertex
+        g = DiGraph(7, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)])
+        idx = PathTreeIndex(g)
+        assert idx.interval_count == 7
+
+    def test_khop_unsupported(self):
+        idx = PathTreeIndex(path_graph(3))
+        with pytest.raises(UnsupportedQueryError):
+            idx.reaches_within(0, 1, 1)
+
+
+class TestChainCover:
+    def test_chain_count_le_n(self):
+        g = random_dag(25, 50, seed=1)
+        idx = ChainCoverIndex(g)
+        assert 1 <= idx.chain_count <= g.n
+
+    def test_matching_no_more_chains_than_greedy(self):
+        g = random_dag(40, 90, seed=2)
+        greedy = ChainCoverIndex(g, decomposition="greedy")
+        matching = ChainCoverIndex(g, decomposition="matching")
+        assert matching.chain_count <= greedy.chain_count
+
+    def test_chains_are_paths(self):
+        # consecutive chain members must be DAG edges
+        g = random_dag(30, 60, seed=3)
+        idx = ChainCoverIndex(g, decomposition="matching")
+        from repro.graph.scc import condensation
+
+        dag = condensation(g).dag
+        chains: dict[int, list[tuple[int, int]]] = {}
+        for v in range(dag.n):
+            chains.setdefault(int(idx._chain_of[v]), []).append(
+                (int(idx._pos_of[v]), v)
+            )
+        for members in chains.values():
+            members.sort()
+            for (p1, u), (p2, v) in zip(members, members[1:]):
+                assert p2 == p1 + 1
+                assert dag.has_edge(u, v)
+
+    def test_budget_exceeded(self):
+        g = random_dag(30, 120, seed=4)
+        with pytest.raises(IndexBudgetExceeded):
+            ChainCoverIndex(g, max_label_entries=5)
+
+    def test_unknown_decomposition(self):
+        with pytest.raises(ValueError):
+            ChainCoverIndex(path_graph(3), decomposition="bogus")
+
+    def test_khop_unsupported(self):
+        idx = ChainCoverIndex(path_graph(3))
+        with pytest.raises(UnsupportedQueryError):
+            idx.reaches_within(0, 1, 1)
+
+
+class TestPrunedLandmark:
+    def test_distances_match_bfs(self):
+        g = gnp_digraph(30, 0.1, seed=5)
+        idx = PrunedLandmarkIndex(g)
+        for s in range(g.n):
+            dist = bfs_distances(g, s)
+            for t in range(g.n):
+                expected = float("inf") if dist[t] == UNREACHED else int(dist[t])
+                assert idx.distance(s, t) == expected, (s, t)
+
+    def test_khop_supported(self):
+        idx = PrunedLandmarkIndex(path_graph(6))
+        assert idx.reaches_within(0, 4, 4)
+        assert not idx.reaches_within(0, 4, 3)
+        with pytest.raises(ValueError):
+            idx.reaches_within(0, 1, -1)
+
+    def test_pruning_keeps_labels_small_on_star(self):
+        # the hub is the first landmark; spokes need only tiny labels
+        idx = PrunedLandmarkIndex(star_graph(200))
+        assert idx.average_label_size() < 5
+
+    def test_label_entries_consistent_with_storage(self):
+        idx = PrunedLandmarkIndex(path_graph(10))
+        assert idx.storage_bytes() == 8 * idx.label_entries

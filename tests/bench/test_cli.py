@@ -1,0 +1,51 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.scale == 0.2
+        assert args.queries == 20_000
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_all_choice(self):
+        assert build_parser().parse_args(["all"]).experiment == "all"
+
+
+class TestMain:
+    def test_table2_tiny(self, capsys):
+        rc = main(
+            ["table2", "--scale", "0.03", "--queries", "100",
+             "--datasets", "GO", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "GO" in out
+
+    def test_markdown_mode(self, capsys):
+        main(["table8", "--scale", "0.03", "--queries", "100",
+              "--datasets", "GO", "--markdown"])
+        out = capsys.readouterr().out
+        assert "### Table 8" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out.txt"
+        main(["table8", "--scale", "0.03", "--queries", "100",
+              "--datasets", "GO", "--output", str(target)])
+        capsys.readouterr()
+        content = target.read_text()
+        assert "Table 8" in content
+
+    def test_dataset_subset_parsing(self, capsys):
+        main(["table2", "--scale", "0.03", "--queries", "50",
+              "--datasets", "GO, Nasa"])
+        out = capsys.readouterr().out
+        assert "GO" in out and "Nasa" in out

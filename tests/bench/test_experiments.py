@@ -1,0 +1,112 @@
+"""Experiment smoke tests at tiny scale (2 datasets, small workloads)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    SuiteConfig,
+    run_ablation_case_cost,
+    run_ablation_covers,
+    run_ablation_general_k,
+    run_ablation_online_search,
+    run_table2,
+    run_table3_4_5,
+    run_table6,
+    run_table7,
+    run_table8,
+    run_table9,
+)
+from repro.bench.report import Table
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SuiteConfig(
+        datasets=("GO", "aMaze"),
+        scale=0.03,
+        queries=400,
+        bfs_queries=60,
+        seed=1,
+    )
+
+
+class TestSuiteConfig:
+    def test_graph_cached(self, config):
+        assert config.graph("GO") is config.graph("GO")
+
+    def test_pairs_shape(self, config):
+        pairs = config.pairs("GO")
+        assert pairs.shape == (400, 2)
+
+    def test_mu_positive(self, config):
+        assert config.mu("GO") >= 2
+
+    def test_builds_cached(self, config):
+        builds = config.reachability_builds("GO")
+        assert set(builds) == {"n-reach", "PTree", "3-hop", "GRAIL", "PWAH"}
+        assert config.reachability_builds("GO") is builds
+
+
+class TestTables:
+    def test_table2(self, config):
+        table = run_table2(config)
+        assert isinstance(table, Table)
+        assert len(table.rows) == 2
+
+    def test_table3_4_5(self, config):
+        t3, t4, t5 = run_table3_4_5(config)
+        for t in (t3, t4, t5):
+            assert len(t.rows) == 2
+            assert t.rows[0]["dataset"] == "GO"
+
+    def test_table6_rank_bounds(self, config):
+        table = run_table6(config)
+        assert len(table.rows) == 3  # three metrics
+
+    def test_table7(self, config):
+        table = run_table7(config)
+        assert len(table.rows) == 2
+        assert "mu-BFS" in table.columns and "mu-dist" in table.columns
+
+    def test_table8_percentages(self, config):
+        table = run_table8(config)
+        for row in table.rows:
+            ours = [float(str(row[f"Case {c}"]).split(" / ")[0]) for c in (1, 2, 3, 4)]
+            assert abs(sum(ours) - 100.0) < 1.0
+
+    def test_table9(self, config):
+        table = run_table9(config)
+        # only aMaze is in the paper's Table 9 subset of our two datasets
+        assert [r["dataset"] for r in table.rows] == ["aMaze"]
+        row = table.rows[0]
+        assert int(row["|2hop-VC|"]) <= int(row["|VC|"])
+
+
+class TestAblations:
+    def test_covers(self, config):
+        table = run_ablation_covers(config)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            assert row["degree |S|"] > 0
+
+    def test_general_k(self, config):
+        table = run_ablation_general_k(config)
+        for row in table.rows:
+            assert row["geometric levels"] >= 1
+
+    def test_case_cost(self, config):
+        table = run_ablation_case_cost(config)
+        assert len(table.rows) == 2
+
+    def test_online_search(self, config):
+        table = run_ablation_online_search(config)
+        assert len(table.rows) == 2
+
+
+class TestCompressionAblation:
+    def test_compression_table(self, config):
+        from repro.bench.experiments import run_ablation_compression
+
+        table = run_ablation_compression(config)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            assert row["plain MB"] is not None

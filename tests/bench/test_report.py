@@ -1,0 +1,63 @@
+"""Report/table rendering tests."""
+
+from repro.bench.report import Table, fmt_mb, fmt_ms, fmt_pct, fmt_ratio, fmt_us
+
+
+class TestFormatters:
+    def test_fmt_ms_ranges(self):
+        assert fmt_ms(None) == "-"
+        assert fmt_ms(123.456) == "123"
+        assert fmt_ms(12.345) == "12.35"
+        assert fmt_ms(0.1234) == "0.123"
+
+    def test_fmt_mb(self):
+        assert fmt_mb(None) == "-"
+        assert fmt_mb(2_500_000) == "2.50"
+
+    def test_fmt_pct(self):
+        assert fmt_pct(None) == "-"
+        assert fmt_pct(0.9397) == "93.97"
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(None) == "-"
+        assert fmt_ratio(3.14) == "3.1x"
+        assert fmt_ratio(250) == "250x"
+
+    def test_fmt_us_alias(self):
+        assert fmt_us(5.0) == fmt_ms(5.0)
+
+
+class TestTable:
+    def make(self):
+        t = Table("demo", ["name", "value"], caption="a caption")
+        t.add_row({"name": "alpha", "value": 1})
+        t.add_row({"name": "beta"})  # missing value -> '-'
+        return t
+
+    def test_render_alignment(self):
+        out = self.make().render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "-" in lines[4]  # missing cell
+        assert "a caption" in out
+
+    def test_markdown(self):
+        md = self.make().to_markdown()
+        assert md.startswith("### demo")
+        assert "| name | value |" in md
+        assert "| alpha | 1 |" in md
+
+    def test_float_cells_formatted(self):
+        t = Table("t", ["x"])
+        t.add_row({"x": 3.14159})
+        assert "3.14" in t.render()
+
+    def test_column_values(self):
+        t = self.make()
+        assert t.column_values("value") == [1, None]
+
+    def test_empty_table_renders(self):
+        t = Table("empty", ["a", "b"])
+        out = t.render()
+        assert "a" in out and "b" in out

@@ -1,0 +1,99 @@
+"""Bitset unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.bitsets.bitset import Bitset
+
+
+class TestBitset:
+    def test_initially_empty(self):
+        b = Bitset(100)
+        assert b.count() == 0
+        assert not b.test(0) and not b.test(99)
+
+    def test_set_and_test(self):
+        b = Bitset(100)
+        b.set(0)
+        b.set(63)
+        b.set(64)
+        b.set(99)
+        assert all(b.test(i) for i in (0, 63, 64, 99))
+        assert not b.test(1)
+
+    def test_clear(self):
+        b = Bitset(70)
+        b.set(65)
+        b.clear(65)
+        assert not b.test(65)
+
+    def test_bounds(self):
+        b = Bitset(10)
+        with pytest.raises(IndexError):
+            b.set(10)
+        with pytest.raises(IndexError):
+            b.test(-1)
+
+    def test_from_indices(self):
+        b = Bitset.from_indices(200, [3, 64, 128, 3])
+        assert sorted(b) == [3, 64, 128]
+        with pytest.raises(IndexError):
+            Bitset.from_indices(10, [10])
+
+    def test_union_update(self):
+        a = Bitset.from_indices(100, [1, 2])
+        b = Bitset.from_indices(100, [2, 70])
+        a.union_update(b)
+        assert sorted(a) == [1, 2, 70]
+
+    def test_union_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Bitset(10).union_update(Bitset(20))
+
+    def test_intersects(self):
+        a = Bitset.from_indices(100, [5, 80])
+        b = Bitset.from_indices(100, [80])
+        c = Bitset.from_indices(100, [6])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_count_and_len(self):
+        b = Bitset.from_indices(130, range(0, 130, 3))
+        assert b.count() == len(range(0, 130, 3))
+        assert len(b) == b.count()
+
+    def test_indices_sorted(self):
+        b = Bitset.from_indices(100, [90, 5, 40])
+        assert b.indices().tolist() == [5, 40, 90]
+
+    def test_contains(self):
+        b = Bitset.from_indices(50, [7])
+        assert 7 in b
+        assert 8 not in b
+        assert 200 not in b  # out of range is just False
+
+    def test_copy_is_independent(self):
+        a = Bitset.from_indices(64, [1])
+        c = a.copy()
+        c.set(2)
+        assert not a.test(2)
+
+    def test_equality(self):
+        assert Bitset.from_indices(64, [1, 5]) == Bitset.from_indices(64, [5, 1])
+        assert Bitset(64) != Bitset(65)
+
+    def test_zero_size(self):
+        b = Bitset(0)
+        assert b.count() == 0 and list(b) == []
+
+    def test_storage_bytes(self):
+        assert Bitset(64).storage_bytes() == 8
+        assert Bitset(65).storage_bytes() == 16
+
+    def test_random_against_python_set(self):
+        rng = np.random.default_rng(1)
+        universe = 500
+        reference = set(int(v) for v in rng.integers(0, universe, size=120))
+        b = Bitset.from_indices(universe, reference)
+        assert set(b) == reference
+        assert b.count() == len(reference)

@@ -1,0 +1,100 @@
+"""PackedIntArray tests: bit packing across word boundaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitsets.packed import PackedIntArray, bits_needed
+
+
+class TestBitsNeeded:
+    def test_values(self):
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 1
+        assert bits_needed(3) == 2
+        assert bits_needed(4) == 2
+        assert bits_needed(5) == 3
+        assert bits_needed(256) == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bits_needed(0)
+
+
+class TestPackedIntArray:
+    def test_default_zero(self):
+        a = PackedIntArray(10, bits=3)
+        assert a.to_list() == [0] * 10
+
+    def test_set_get(self):
+        a = PackedIntArray(5, bits=2)
+        a[0] = 3
+        a[4] = 1
+        assert a[0] == 3 and a[1] == 0 and a[4] == 1
+
+    def test_word_boundary_straddle(self):
+        # 5-bit entries: entry 12 spans bits 60..64 (crosses the word edge)
+        a = PackedIntArray(20, bits=5)
+        a[12] = 0b10101
+        a[11] = 0b01010
+        a[13] = 0b11111
+        assert a[12] == 0b10101
+        assert a[11] == 0b01010
+        assert a[13] == 0b11111
+
+    def test_overwrite(self):
+        a = PackedIntArray(3, bits=4)
+        a[1] = 9
+        a[1] = 4
+        assert a[1] == 4
+
+    def test_value_range_validation(self):
+        a = PackedIntArray(3, bits=2)
+        with pytest.raises(ValueError):
+            a[0] = 4
+        with pytest.raises(ValueError):
+            a[0] = -1
+
+    def test_index_bounds(self):
+        a = PackedIntArray(3, bits=2)
+        with pytest.raises(IndexError):
+            a[3]
+        with pytest.raises(IndexError):
+            a[-1] = 0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            PackedIntArray(-1, bits=2)
+        with pytest.raises(ValueError):
+            PackedIntArray(3, bits=0)
+        with pytest.raises(ValueError):
+            PackedIntArray(3, bits=33)
+
+    def test_from_values(self):
+        a = PackedIntArray.from_values([1, 2, 3, 0, 3], bits=2)
+        assert a.to_list() == [1, 2, 3, 0, 3]
+
+    def test_len(self):
+        assert len(PackedIntArray(7, bits=2)) == 7
+
+    def test_storage_bytes(self):
+        # 100 entries * 2 bits = 200 bits = 25 bytes
+        assert PackedIntArray(100, bits=2).storage_bytes() == 25
+        assert PackedIntArray(0, bits=2).storage_bytes() == 0
+
+    def test_zero_length(self):
+        a = PackedIntArray(0, bits=2)
+        assert a.to_list() == []
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=17),
+    st.lists(st.integers(min_value=0, max_value=2**17 - 1), min_size=1, max_size=100),
+)
+def test_property_round_trip(bits, values):
+    mask = (1 << bits) - 1
+    clipped = [v & mask for v in values]
+    a = PackedIntArray.from_values(clipped, bits=bits)
+    assert a.to_list() == clipped

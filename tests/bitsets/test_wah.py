@@ -1,0 +1,137 @@
+"""WAH codec tests: round trips, probes, compression behavior."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitsets.wah import GROUP_BITS, WahBitVector
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        w = WahBitVector.compress(np.zeros(0, dtype=bool))
+        assert w.size == 0
+        assert len(w.decompress()) == 0
+
+    def test_all_zeros(self):
+        bits = np.zeros(1000, dtype=bool)
+        w = WahBitVector.compress(bits)
+        assert np.array_equal(w.decompress(), bits)
+        assert len(w.words) == 1  # one fill word
+
+    def test_all_ones_aligned(self):
+        bits = np.ones(GROUP_BITS * 32, dtype=bool)
+        w = WahBitVector.compress(bits)
+        assert np.array_equal(w.decompress(), bits)
+        assert len(w.words) == 1
+
+    def test_all_ones_with_tail(self):
+        # the padded tail group is not all-ones, so it stays a literal
+        bits = np.ones(1000, dtype=bool)
+        w = WahBitVector.compress(bits)
+        assert np.array_equal(w.decompress(), bits)
+        assert len(w.words) == 2
+
+    def test_single_bit_positions(self):
+        for pos in (0, 30, 31, 61, 62, 99):
+            bits = np.zeros(100, dtype=bool)
+            bits[pos] = True
+            w = WahBitVector.compress(bits)
+            assert np.array_equal(w.decompress(), bits), pos
+
+    def test_non_multiple_of_group(self):
+        bits = np.zeros(GROUP_BITS * 2 + 7, dtype=bool)
+        bits[-1] = True
+        w = WahBitVector.compress(bits)
+        assert np.array_equal(w.decompress(), bits)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.random(rng.integers(1, 2000)) < rng.random()
+        w = WahBitVector.compress(bits)
+        assert np.array_equal(w.decompress(), bits)
+
+
+class TestProbe:
+    def test_test_matches_bits(self):
+        rng = np.random.default_rng(3)
+        bits = rng.random(777) < 0.02
+        w = WahBitVector.compress(bits)
+        for i in range(777):
+            assert w.test(i) == bool(bits[i]), i
+
+    def test_out_of_range(self):
+        w = WahBitVector.compress(np.zeros(10, dtype=bool))
+        with pytest.raises(IndexError):
+            w.test(10)
+        with pytest.raises(IndexError):
+            w.test(-1)
+
+    def test_from_indices(self):
+        w = WahBitVector.from_indices(500, [0, 250, 499])
+        assert w.test(0) and w.test(250) and w.test(499)
+        assert not w.test(1)
+
+
+class TestCount:
+    @pytest.mark.parametrize("density", [0.0, 0.01, 0.5, 0.99, 1.0])
+    def test_count_matches(self, density):
+        rng = np.random.default_rng(7)
+        bits = rng.random(1234) < density
+        w = WahBitVector.compress(bits)
+        assert w.count() == int(bits.sum())
+
+    def test_count_with_partial_tail_fill(self):
+        # all ones with a size that cuts the last group mid-way
+        bits = np.ones(GROUP_BITS + 5, dtype=bool)
+        w = WahBitVector.compress(bits)
+        assert w.count() == GROUP_BITS + 5
+
+
+class TestCompression:
+    def test_sparse_compresses_well(self):
+        bits = np.zeros(31 * 1000, dtype=bool)
+        bits[0] = True
+        w = WahBitVector.compress(bits)
+        # literal + one long zero fill
+        assert len(w.words) == 2
+        assert w.compression_ratio() > 100
+
+    def test_dense_random_does_not_explode(self):
+        rng = np.random.default_rng(0)
+        bits = rng.random(3100) < 0.5
+        w = WahBitVector.compress(bits)
+        # at worst one word per 31-bit group
+        assert len(w.words) <= (3100 + GROUP_BITS - 1) // GROUP_BITS
+
+    def test_long_run_splits_over_run_mask(self):
+        # a run longer than the 30-bit run-length field still round-trips
+        # (build synthetically: size chosen so runs stay modest in tests,
+        # here we just sanity check the chunking constant exists)
+        bits = np.zeros(31 * 100, dtype=bool)
+        w = WahBitVector.compress(bits)
+        assert np.array_equal(w.decompress(), bits)
+
+    def test_equality(self):
+        a = WahBitVector.from_indices(100, [5])
+        b = WahBitVector.from_indices(100, [5])
+        c = WahBitVector.from_indices(100, [6])
+        assert a == b and a != c
+
+    def test_storage_bytes(self):
+        w = WahBitVector.compress(np.zeros(31 * 10, dtype=bool))
+        assert w.storage_bytes() == 4 * len(w.words)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.booleans(), min_size=0, max_size=400))
+def test_property_round_trip(bools):
+    bits = np.asarray(bools, dtype=bool)
+    w = WahBitVector.compress(bits)
+    assert np.array_equal(w.decompress(), bits)
+    assert w.count() == int(bits.sum())
+    if len(bits):
+        i = len(bits) // 2
+        assert w.test(i) == bool(bits[i])

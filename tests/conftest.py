@@ -1,0 +1,78 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    cycle_graph,
+    gnp_digraph,
+    paper_example_graph,
+    path_graph,
+    random_dag,
+)
+from repro.graph.traversal import reaches_within_bfs
+
+
+@pytest.fixture
+def paper_graph() -> DiGraph:
+    """The Figure-1/Figure-3 worked-example graph."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def paper_ids(paper_graph) -> dict[str, int]:
+    """Label -> dense id for the paper graph."""
+    return {lab: paper_graph.vertex_id(lab) for lab in "abcdefghij"}
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    """0 -> {1, 2} -> 3 (the smallest multi-path DAG)."""
+    return DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def two_cycle() -> DiGraph:
+    """0 <-> 1 plus a tail 1 -> 2."""
+    return DiGraph(3, [(0, 1), (1, 0), (1, 2)])
+
+
+@pytest.fixture(params=[0, 1, 2, 3])
+def random_graph(request) -> DiGraph:
+    """A small random digraph (one per seed parameter)."""
+    rng = np.random.default_rng(request.param)
+    n = int(rng.integers(5, 30))
+    p = float(rng.uniform(0.02, 0.25))
+    return gnp_digraph(n, p, seed=request.param)
+
+
+def graph_corpus() -> list[DiGraph]:
+    """A deterministic corpus of structurally diverse small graphs."""
+    return [
+        DiGraph(1),
+        DiGraph(2, [(0, 1)]),
+        path_graph(6),
+        cycle_graph(5),
+        DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)]),
+        random_dag(12, 20, seed=1),
+        gnp_digraph(15, 0.12, seed=2),
+        gnp_digraph(25, 0.06, seed=3),
+        paper_example_graph(),
+        DiGraph(3, [(0, 1), (1, 0), (1, 2)]),
+        DiGraph(7),  # edgeless
+    ]
+
+
+def brute_force_khop(g: DiGraph, s: int, t: int, k: int | None) -> bool:
+    """Ground truth used across all index tests."""
+    return reaches_within_bfs(g, s, t, k)
+
+
+def all_pairs(g: DiGraph):
+    """Iterate every (s, t) pair of a small graph."""
+    for s in range(g.n):
+        for t in range(g.n):
+            yield s, t

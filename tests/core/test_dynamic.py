@@ -1,0 +1,154 @@
+"""DynamicKReachIndex maintenance tests.
+
+Central invariant: after ANY sequence of insertions and deletions the
+dynamic index answers exactly like a k-reach index built from scratch on
+the current graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicKReachIndex
+from repro.core.kreach import KReachIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnp_digraph, path_graph
+
+from tests.conftest import brute_force_khop
+
+
+def assert_matches_fresh(dyn: DynamicKReachIndex, k):
+    g = dyn.to_digraph()
+    for s in range(g.n):
+        for t in range(g.n):
+            expected = brute_force_khop(g, s, t, k)
+            assert dyn.query(s, t) == expected, (k, s, t)
+
+
+class TestBasics:
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            DynamicKReachIndex(path_graph(3), -1)
+
+    def test_initial_state_matches_static(self):
+        g = gnp_digraph(20, 0.15, seed=1)
+        dyn = DynamicKReachIndex(g, 3)
+        static = KReachIndex(g, 3)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert dyn.query(s, t) == static.query(s, t)
+
+    def test_insert_connects(self):
+        g = DiGraph(4, [(0, 1), (2, 3)])
+        dyn = DynamicKReachIndex(g, 3)
+        assert not dyn.query(0, 3)
+        dyn.insert_edge(1, 2)
+        assert dyn.query(0, 3)
+
+    def test_insert_respects_k(self):
+        g = DiGraph(5, [(0, 1), (1, 2), (3, 4)])
+        dyn = DynamicKReachIndex(g, 2)
+        dyn.insert_edge(2, 3)
+        assert dyn.query(0, 2)  # still within 2 hops
+        assert not dyn.query(0, 4)  # 4 hops away now, k = 2
+
+    def test_duplicate_insert_noop(self):
+        g = path_graph(3)
+        dyn = DynamicKReachIndex(g, 2)
+        before = dyn.edge_count
+        dyn.insert_edge(0, 1)
+        assert dyn.edge_count == before
+
+    def test_self_loop_ignored(self):
+        dyn = DynamicKReachIndex(path_graph(3), 2)
+        dyn.insert_edge(1, 1)
+        assert not dyn.query(1, 0)
+
+    def test_delete_disconnects(self):
+        g = path_graph(4)
+        dyn = DynamicKReachIndex(g, None)
+        assert dyn.query(0, 3)
+        dyn.delete_edge(1, 2)
+        assert not dyn.query(0, 3)
+        assert dyn.query(0, 1)
+
+    def test_delete_missing_edge_noop(self):
+        dyn = DynamicKReachIndex(path_graph(3), 2)
+        dyn.delete_edge(2, 0)
+        assert dyn.query(0, 2)
+
+    def test_update_out_of_range(self):
+        dyn = DynamicKReachIndex(path_graph(3), 2)
+        with pytest.raises(ValueError):
+            dyn.insert_edge(0, 9)
+        with pytest.raises(ValueError):
+            dyn.delete_edge(-1, 0)
+
+    def test_cover_grows_when_uncovered_edge_arrives(self):
+        g = DiGraph(4, [(0, 1)])
+        dyn = DynamicKReachIndex(g, 2)
+        before = dyn.cover_size
+        dyn.insert_edge(2, 3)  # neither endpoint covered
+        assert dyn.cover_size == before + 1
+        assert dyn.query(2, 3)
+
+    def test_to_digraph_snapshot(self):
+        dyn = DynamicKReachIndex(path_graph(3), 2)
+        dyn.insert_edge(2, 0)
+        snap = dyn.to_digraph()
+        assert snap.has_edge(2, 0)
+
+
+class TestRandomSequences:
+    @pytest.mark.parametrize("k", [2, 3, 5, None])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_insert_only_sequences(self, k, seed):
+        rng = np.random.default_rng(seed)
+        n = 18
+        g = gnp_digraph(n, 0.05, seed=seed)
+        dyn = DynamicKReachIndex(g, k)
+        for step in range(25):
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            dyn.insert_edge(u, v) if u != v else None
+            if step % 5 == 4:
+                assert_matches_fresh(dyn, k)
+        assert_matches_fresh(dyn, k)
+
+    @pytest.mark.parametrize("k", [2, 4, None])
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_mixed_sequences(self, k, seed):
+        rng = np.random.default_rng(seed)
+        n = 15
+        g = gnp_digraph(n, 0.12, seed=seed)
+        dyn = DynamicKReachIndex(g, k)
+        edges = [(u, v) for u, v in g.edges()]
+        for step in range(30):
+            if edges and rng.random() < 0.4:
+                u, v = edges.pop(int(rng.integers(0, len(edges))))
+                dyn.delete_edge(u, v)
+            else:
+                u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+                if u != v:
+                    dyn.insert_edge(u, v)
+                    edges.append((u, v))
+            if step % 6 == 5:
+                assert_matches_fresh(dyn, k)
+        assert_matches_fresh(dyn, k)
+
+    def test_k_zero_stays_trivial(self):
+        dyn = DynamicKReachIndex(path_graph(4), 0)
+        dyn.insert_edge(0, 2)
+        assert not dyn.query(0, 2)
+        assert dyn.query(1, 1)
+
+    def test_rebuild_after_churn_matches_static(self):
+        rng = np.random.default_rng(9)
+        n = 14
+        dyn = DynamicKReachIndex(DiGraph(n), 3)
+        for _ in range(40):
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u != v:
+                dyn.insert_edge(u, v)
+        static = KReachIndex(dyn.to_digraph(), 3)
+        for s in range(n):
+            for t in range(n):
+                assert dyn.query(s, t) == static.query(s, t)

@@ -1,0 +1,172 @@
+"""General-k support tests (§4.4): oracle, geometric family, exact family."""
+
+import numpy as np
+import pytest
+
+from repro.core.general_k import (
+    INFINITE_DISTANCE,
+    CoverDistanceOracle,
+    ExactKFamily,
+    GeometricKReachFamily,
+    KHopAnswer,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, gnp_digraph, path_graph
+from repro.graph.traversal import UNREACHED, bfs_distances
+
+from tests.conftest import all_pairs, brute_force_khop, graph_corpus
+
+
+class TestCoverDistanceOracle:
+    def test_distances_match_bfs_on_corpus(self):
+        for g in graph_corpus():
+            oracle = CoverDistanceOracle(g)
+            for s in range(g.n):
+                dist = bfs_distances(g, s)
+                for t in range(g.n):
+                    expected = (
+                        INFINITE_DISTANCE if dist[t] == UNREACHED else int(dist[t])
+                    )
+                    assert oracle.distance(s, t) == expected, (g, s, t)
+
+    def test_reaches_within_any_k(self):
+        g = path_graph(6)
+        oracle = CoverDistanceOracle(g)
+        assert oracle.reaches_within(0, 4, 4)
+        assert not oracle.reaches_within(0, 4, 3)
+        with pytest.raises(ValueError):
+            oracle.reaches_within(0, 4, -1)
+
+    def test_reaches(self):
+        g = DiGraph(4, [(0, 1), (2, 3)])
+        oracle = CoverDistanceOracle(g)
+        assert oracle.reaches(0, 1) and not oracle.reaches(0, 3)
+
+    def test_invalid_cover(self):
+        with pytest.raises(ValueError):
+            CoverDistanceOracle(path_graph(4), cover=frozenset({0}))
+
+    def test_query_out_of_range(self):
+        oracle = CoverDistanceOracle(path_graph(3))
+        with pytest.raises(ValueError):
+            oracle.distance(0, 7)
+
+    def test_weight_bits_reflects_diameter(self):
+        oracle = CoverDistanceOracle(path_graph(40))
+        # distances up to ~39 need 6 bits
+        assert oracle.weight_bits() >= 5
+
+    def test_storage_positive(self):
+        oracle = CoverDistanceOracle(path_graph(10))
+        assert oracle.storage_bytes() > 0
+        assert oracle.cover_size > 0
+        assert oracle.edge_count >= 0
+
+
+class TestGeometricFamily:
+    def test_levels_are_powers_of_two(self):
+        fam = GeometricKReachFamily(path_graph(20), max_k=16)
+        assert fam.levels == [2, 4, 8, 16]
+        assert fam.num_levels == 4
+
+    def test_max_k_rounds_up(self):
+        fam = GeometricKReachFamily(path_graph(20), max_k=9)
+        assert fam.max_k == 16
+
+    def test_tiny_max_k_clamped(self):
+        fam = GeometricKReachFamily(path_graph(4), max_k=1)
+        assert fam.max_k == 2
+
+    def test_exact_answers_are_correct_on_corpus(self):
+        for g in graph_corpus():
+            fam = GeometricKReachFamily(g)  # default max_k = n-1: covers d
+            for s, t in all_pairs(g):
+                for k in (0, 1, 2, 3, 5, 9):
+                    ans = fam.query(s, t, k)
+                    truth = brute_force_khop(g, s, t, k)
+                    if ans.exact:
+                        assert ans.reachable == truth, (g, s, t, k)
+                    else:
+                        assert ans.reachable and not truth or ans.reachable
+                        assert ans.upper_bound is not None
+                        assert brute_force_khop(g, s, t, ans.upper_bound)
+
+    def test_refine_tightens_bounds(self):
+        g = path_graph(20)
+        fam = GeometricKReachFamily(g, max_k=16, max_k_covers_diameter=True)
+        # dist(0, 3) = 3; k=3 probes the 4-index: hit with level 4 > 3, but
+        # refine finds the 2-index misses and certifies nothing tighter...
+        ans = fam.query(0, 3, 3, refine=True)
+        assert ans.reachable
+        # dist(0, 2) = 2: refine should find the 2-level and make it exact
+        ans2 = fam.query(0, 2, 3, refine=True)
+        assert ans2.exact and ans2.reachable
+
+    def test_band_semantics(self):
+        # dist(0, 4) = 4: query with k=3 probes the 4-index -> approximate
+        g = path_graph(10)
+        fam = GeometricKReachFamily(g, max_k=8, max_k_covers_diameter=True)
+        ans = fam.query(0, 4, 3)
+        assert ans.reachable and not ans.exact and ans.upper_bound == 4
+        assert bool(ans) is True
+
+    def test_no_beyond_top_level_is_exact_when_covering(self):
+        g = path_graph(6)
+        fam = GeometricKReachFamily(g, max_k=8, max_k_covers_diameter=True)
+        ans = fam.query(5, 0, 100)
+        assert not ans.reachable and ans.exact
+
+    def test_k_validation(self):
+        fam = GeometricKReachFamily(path_graph(4))
+        with pytest.raises(ValueError):
+            fam.query(0, 1, -1)
+
+    def test_k0_k1_shortcuts(self):
+        g = path_graph(4)
+        fam = GeometricKReachFamily(g)
+        assert fam.query(1, 1, 0) == KHopAnswer(True, True)
+        assert fam.query(0, 1, 0) == KHopAnswer(False, True)
+        assert fam.query(0, 1, 1).reachable
+        assert not fam.query(0, 2, 1).reachable
+
+    def test_reaches_within_bool_view(self):
+        fam = GeometricKReachFamily(path_graph(6))
+        assert fam.reaches_within(0, 3, 4)
+
+    def test_storage_is_sum_of_levels(self):
+        fam = GeometricKReachFamily(path_graph(10), max_k=8)
+        assert fam.storage_bytes() == sum(
+            ix.storage_bytes() for ix in fam.indexes.values()
+        )
+
+
+class TestExactKFamily:
+    def test_matches_bfs_all_k_on_corpus(self):
+        for g in graph_corpus():
+            fam = ExactKFamily(g)
+            for s, t in all_pairs(g):
+                for k in (0, 1, 2, 3, 4, 6, 50):
+                    assert fam.reaches_within(s, t, k) == brute_force_khop(
+                        g, s, t, k
+                    ), (g, s, t, k)
+
+    def test_beyond_diameter_uses_reachability(self):
+        g = cycle_graph(5)
+        fam = ExactKFamily(g)
+        assert fam.reaches_within(0, 4, 100)
+
+    def test_k_validation(self):
+        fam = ExactKFamily(path_graph(4))
+        with pytest.raises(ValueError):
+            fam.reaches_within(0, 1, -1)
+
+    def test_explicit_diameter(self):
+        fam = ExactKFamily(path_graph(8), diameter=7)
+        assert fam.diameter == 7
+        assert fam.reaches_within(0, 7, 7)
+        assert not fam.reaches_within(0, 7, 6)
+
+    def test_storage_counts_all_members(self):
+        fam = ExactKFamily(path_graph(8))
+        assert fam.storage_bytes() > 0
+        assert len(fam.indexes) == fam.diameter - 1

@@ -1,0 +1,166 @@
+"""Every claim of the paper's worked Examples 1–4 and Figures 2 & 4,
+asserted verbatim against our implementation."""
+
+import pytest
+
+from repro.core.hkreach import HKReachIndex
+from repro.core.kreach import KReachIndex
+from repro.core.vertex_cover import is_hhop_vertex_cover, is_vertex_cover
+from repro.graph.generators import paper_example_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return paper_example_graph()
+
+
+@pytest.fixture(scope="module")
+def ids(graph):
+    return {lab: graph.vertex_id(lab) for lab in "abcdefghij"}
+
+
+@pytest.fixture(scope="module")
+def kreach3(graph, ids):
+    """The 3-reach index of Example 1 (cover {b, d, g, i})."""
+    return KReachIndex(graph, 3, cover=frozenset(ids[x] for x in "bdgi"))
+
+
+@pytest.fixture(scope="module")
+def hk25(graph, ids):
+    """The (2,5)-reach index of Example 3 (2-hop cover {d, e, g})."""
+    return HKReachIndex(graph, 2, 5, cover=frozenset(ids[x] for x in "deg"))
+
+
+class TestExample1:
+    """Example 1: the k-reach graph of Figure 2 (k = 3)."""
+
+    def test_cover_is_valid(self, graph, ids):
+        assert is_vertex_cover(graph, {ids[x] for x in "bdgi"})
+
+    def test_figure2_edges_and_weights(self, graph, kreach3):
+        labeled = {
+            (graph.vertex_label(u), graph.vertex_label(v)): w
+            for u, v, w in kreach3.weighted_edges()
+        }
+        assert labeled == {
+            ("b", "d"): 1,
+            ("b", "g"): 3,
+            ("d", "g"): 2,
+            ("d", "i"): 3,
+            ("g", "i"): 1,
+        }
+
+    def test_b_reaches_g_weight_3(self, kreach3, ids):
+        # "b ->3 g in G and thus we have the directed edge (b, g) with
+        #  weight 3"
+        assert kreach3.weight(ids["b"], ids["g"]) == 3
+
+
+class TestExample2:
+    """Example 2: query processing with the 3-reach index."""
+
+    def test_case1_b_reaches_g(self, kreach3, ids):
+        assert kreach3.query_case(ids["b"], ids["g"]) == 1
+        assert kreach3.query(ids["b"], ids["g"]) is True
+
+    def test_case1_b_not_reaches_i(self, kreach3, ids):
+        # b can reach i in G but only in 4 > k = 3 hops
+        assert kreach3.query(ids["b"], ids["i"]) is False
+
+    def test_case2_d_reaches_h(self, kreach3, ids):
+        # in-neighbor g of h has weight(d, g) = 2 <= k-1 = 2
+        assert kreach3.query_case(ids["d"], ids["h"]) == 2
+        assert kreach3.query(ids["d"], ids["h"]) is True
+
+    def test_case2_d_not_reaches_j(self, kreach3, ids):
+        # only in-neighbor of j is i, and weight(d, i) = 3 > k-1
+        assert kreach3.query(ids["d"], ids["j"]) is False
+
+    def test_case3_a_reaches_d(self, kreach3, ids):
+        # out-neighbor b of a has weight(b, d) = 1 <= k-1 = 2
+        assert kreach3.query_case(ids["a"], ids["d"]) == 3
+        assert kreach3.query(ids["a"], ids["d"]) is True
+
+    def test_case3_a_not_reaches_g(self, kreach3, ids):
+        # weight(b, g) = 3 > k-1; g is 4 hops from a
+        assert kreach3.query(ids["a"], ids["g"]) is False
+
+    def test_case4_c_reaches_f(self, kreach3, ids):
+        # out-neighbor b of c, in-neighbor d of f: weight(b, d) = 1 <= k-2
+        assert kreach3.query_case(ids["c"], ids["f"]) == 4
+        assert kreach3.query(ids["c"], ids["f"]) is True
+
+    def test_case4_c_not_reaches_h(self, kreach3, ids):
+        # h's only in-neighbor g has weight(b, g) = 3 > k-2 = 1;
+        # h is 5 hops from c
+        assert kreach3.query(ids["c"], ids["h"]) is False
+
+
+class TestExample3:
+    """Example 3: the (2,5)-reach graph of Figure 4."""
+
+    def test_2hop_cover_is_valid(self, graph, ids):
+        assert is_hhop_vertex_cover(graph, {ids[x] for x in "deg"}, 2)
+
+    def test_figure4_edges_and_weights(self, graph, hk25):
+        labeled = {
+            (graph.vertex_label(u), graph.vertex_label(v)): w
+            for u, v, w in hk25.weighted_edges()
+        }
+        assert labeled == {
+            ("d", "e"): 1,
+            ("d", "g"): 2,
+            ("e", "g"): 1,
+        }
+
+
+class TestExample4:
+    """Example 4: query processing with the (2,5)-reach index."""
+
+    def test_case1_e_reaches_g(self, hk25, ids):
+        assert hk25.query_case(ids["e"], ids["g"]) == 1
+        assert hk25.query(ids["e"], ids["g"]) is True
+
+    def test_case1_e_not_reaches_d(self, hk25, ids):
+        assert hk25.query(ids["e"], ids["d"]) is False
+
+    def test_case2_d_reaches_h(self, hk25, ids):
+        # g in inNei_1(h) with weight(d, g) = 2 <= k-1 = 4
+        assert hk25.query_case(ids["d"], ids["h"]) == 2
+        assert hk25.query(ids["d"], ids["h"]) is True
+
+    def test_case2_d_not_reaches_a(self, hk25, ids):
+        # a has no in-neighbors at all
+        assert hk25.query(ids["d"], ids["a"]) is False
+
+    def test_case3_a_reaches_g(self, hk25, ids):
+        # d in outNei_2(a) with weight(d, g) = 2 <= k-2 = 3
+        assert hk25.query_case(ids["a"], ids["g"]) == 3
+        assert hk25.query(ids["a"], ids["g"]) is True
+
+    def test_case4_a_reaches_i(self, hk25, ids):
+        # d in outNei_2(a), g in inNei_1(i): weight 2 <= k-2-1 = 2
+        assert hk25.query_case(ids["a"], ids["i"]) == 4
+        assert hk25.query(ids["a"], ids["i"]) is True
+
+    def test_case4_a_not_reaches_j(self, hk25, ids):
+        # g in inNei_2(j): weight(d, g) = 2 > k-2-2 = 1; a reaches j in 6 hops
+        assert hk25.query(ids["a"], ids["j"]) is False
+
+
+class TestWholeTruthTable:
+    """Beyond the paper's spot checks: every pair, both indexes."""
+
+    def test_3reach_full_truth_table(self, graph, kreach3):
+        from repro.graph.traversal import reaches_within_bfs
+
+        for s in range(graph.n):
+            for t in range(graph.n):
+                assert kreach3.query(s, t) == reaches_within_bfs(graph, s, t, 3)
+
+    def test_25reach_full_truth_table(self, graph, hk25):
+        from repro.graph.traversal import reaches_within_bfs
+
+        for s in range(graph.n):
+            for t in range(graph.n):
+                assert hk25.query(s, t) == reaches_within_bfs(graph, s, t, 5)

@@ -1,0 +1,90 @@
+"""Compressed index-row tests (§4.3's compact hub representation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kreach import KReachIndex
+from repro.core.rowstore import CompressedRow, compress_rows
+from repro.graph.generators import complete_digraph, gnp_digraph
+
+
+class TestCompressedRow:
+    def test_get_matches_dict(self):
+        row = {2: 1, 5: 3, 9: 1, 14: 2}
+        c = CompressedRow(row, universe=20)
+        for v in range(20):
+            assert c.get(v) == row.get(v), v
+
+    def test_default_value(self):
+        c = CompressedRow({1: 2}, universe=4)
+        assert c.get(3, -7) == -7
+        assert c.get(99, -7) == -7  # out of universe
+
+    def test_contains_and_len(self):
+        c = CompressedRow({0: 1, 63: 2, 64: 3}, universe=100)
+        assert 0 in c and 64 in c and 1 not in c
+        assert len(c) == 3
+
+    def test_items_round_trip(self):
+        row = {i: (i % 3) + 1 for i in range(0, 50, 7)}
+        c = CompressedRow(row, universe=64)
+        assert dict(c.items()) == row
+        assert set(c.keys()) == set(row)
+
+    def test_weight_levels_sorted(self):
+        c = CompressedRow({1: 5, 2: 3, 3: 4}, universe=8)
+        assert c.weight_levels() == [3, 4, 5]
+
+    def test_empty_row(self):
+        c = CompressedRow({}, universe=10)
+        assert len(c) == 0 and c.get(0) is None
+        assert list(c.items()) == []
+
+    def test_storage_bytes_positive(self):
+        c = CompressedRow({i: 1 for i in range(100)}, universe=4000)
+        assert c.storage_bytes() > 0
+
+
+class TestCompressRows:
+    def test_threshold_splits_storage(self):
+        rows = {0: {1: 1}, 1: {i: 1 for i in range(10)}}
+        out = compress_rows(rows, universe=32, threshold=5)
+        assert type(out[0]) is dict
+        assert isinstance(out[1], CompressedRow)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            compress_rows({}, universe=4, threshold=0)
+
+
+class TestCompressedIndex:
+    @pytest.mark.parametrize("k", [2, 4, None])
+    def test_answers_identical(self, k):
+        rng = np.random.default_rng(3)
+        g = gnp_digraph(30, 0.15, seed=9)
+        plain = KReachIndex(g, k)
+        packed = KReachIndex(g, k, cover=plain.cover, compress_rows_at=2)
+        for _ in range(300):
+            s, t = int(rng.integers(0, g.n)), int(rng.integers(0, g.n))
+            assert plain.query(s, t) == packed.query(s, t), (k, s, t)
+
+    def test_storage_shrinks_on_dense_cover(self):
+        g = complete_digraph(150)
+        plain = KReachIndex(g, 2)
+        packed = KReachIndex(g, 2, cover=plain.cover, compress_rows_at=50)
+        assert packed.storage_bytes() < plain.storage_bytes() / 5
+
+    def test_edge_count_preserved(self):
+        g = gnp_digraph(25, 0.2, seed=4)
+        plain = KReachIndex(g, 3)
+        packed = KReachIndex(g, 3, cover=plain.cover, compress_rows_at=1)
+        assert plain.edge_count == packed.edge_count
+        assert plain.weighted_edges() == packed.weighted_edges()
+
+    def test_query_cases_unchanged(self):
+        g = gnp_digraph(25, 0.2, seed=5)
+        plain = KReachIndex(g, 3)
+        packed = KReachIndex(g, 3, cover=plain.cover, compress_rows_at=1)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert plain.query_case(s, t) == packed.query_case(s, t)

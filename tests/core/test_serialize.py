@@ -1,0 +1,73 @@
+"""Index serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.kreach import KReachIndex
+from repro.core.serialize import load_kreach, save_kreach
+from repro.graph.generators import gnp_digraph, paper_example_graph, path_graph
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("k", [0, 2, 5, None])
+    def test_answers_identical(self, tmp_path, k):
+        g = gnp_digraph(30, 0.12, seed=2)
+        index = KReachIndex(g, k)
+        path = tmp_path / "index.npz"
+        save_kreach(index, path)
+        loaded = load_kreach(path)
+        assert loaded.k == index.k
+        assert loaded.cover == index.cover
+        assert loaded.weighted_edges() == index.weighted_edges()
+        for s in range(g.n):
+            for t in range(g.n):
+                assert loaded.query(s, t) == index.query(s, t), (k, s, t)
+
+    def test_graph_embedded(self, tmp_path):
+        g = path_graph(8)
+        index = KReachIndex(g, 3)
+        path = tmp_path / "index.npz"
+        save_kreach(index, path)
+        loaded = load_kreach(path)
+        assert loaded.graph == g
+
+    def test_paper_example_round_trip(self, tmp_path):
+        g = paper_example_graph()
+        ids = {lab: g.vertex_id(lab) for lab in "abcdefghij"}
+        index = KReachIndex(g, 3, cover=frozenset(ids[x] for x in "bdgi"))
+        path = tmp_path / "paper.npz"
+        save_kreach(index, path)
+        loaded = load_kreach(path)
+        assert loaded.weighted_edges() == index.weighted_edges()
+        assert loaded.query(ids["c"], ids["f"]) is True
+        assert loaded.query(ids["c"], ids["h"]) is False
+
+    def test_load_with_compression(self, tmp_path):
+        g = gnp_digraph(25, 0.25, seed=3)
+        index = KReachIndex(g, 2)
+        path = tmp_path / "index.npz"
+        save_kreach(index, path)
+        loaded = load_kreach(path, compress_rows_at=2)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert loaded.query(s, t) == index.query(s, t)
+
+    def test_compressed_index_saves(self, tmp_path):
+        g = gnp_digraph(25, 0.25, seed=4)
+        index = KReachIndex(g, 2, compress_rows_at=2)
+        path = tmp_path / "index.npz"
+        save_kreach(index, path)
+        loaded = load_kreach(path)
+        assert loaded.weighted_edges() == index.weighted_edges()
+
+    def test_version_check(self, tmp_path):
+        g = path_graph(4)
+        index = KReachIndex(g, 2)
+        path = tmp_path / "index.npz"
+        save_kreach(index, path)
+        # corrupt the version field
+        data = dict(np.load(path))
+        data["format_version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_kreach(path)

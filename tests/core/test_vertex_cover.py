@@ -1,0 +1,185 @@
+"""Vertex cover and h-hop vertex cover tests."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core.vertex_cover import (
+    COVER_STRATEGIES,
+    cover_from_strategy,
+    greedy_vertex_cover,
+    hhop_vertex_cover,
+    is_hhop_vertex_cover,
+    is_vertex_cover,
+    vertex_cover_2approx,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    complete_digraph,
+    cycle_graph,
+    gnp_digraph,
+    paper_example_graph,
+    path_graph,
+    star_graph,
+)
+
+from tests.conftest import graph_corpus
+
+
+def minimum_cover_size(g: DiGraph) -> int:
+    """Exhaustive minimum vertex cover (tiny graphs only)."""
+    edges = [(u, v) for u, v in g.edges() if u != v]
+    if not edges:
+        return 0
+    for size in range(0, g.n + 1):
+        for subset in combinations(range(g.n), size):
+            s = set(subset)
+            if all(u in s or v in s for u, v in edges):
+                return size
+    return g.n
+
+
+class TestTwoApprox:
+    @pytest.mark.parametrize("order", ["degree", "random", "input"])
+    def test_is_cover_on_corpus(self, order):
+        for g in graph_corpus():
+            cover = vertex_cover_2approx(g, order=order)
+            assert is_vertex_cover(g, cover), (g, order)
+
+    def test_empty_graph(self):
+        assert vertex_cover_2approx(DiGraph(5)) == frozenset()
+
+    def test_single_edge(self):
+        cover = vertex_cover_2approx(DiGraph(2, [(0, 1)]))
+        assert cover == frozenset({0, 1})
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_approximation_ratio(self, seed):
+        g = gnp_digraph(10, 0.25, seed=seed)
+        cover = vertex_cover_2approx(g, order="random", rng=np.random.default_rng(seed))
+        assert len(cover) <= 2 * minimum_cover_size(g)
+
+    def test_degree_order_includes_hub(self):
+        g = star_graph(30)
+        cover = vertex_cover_2approx(g, order="degree")
+        assert 0 in cover
+
+    def test_include_degree_threshold(self):
+        g = star_graph(20)
+        cover = vertex_cover_2approx(g, include_degree_at_least=5)
+        assert 0 in cover
+        assert is_vertex_cover(g, cover)
+
+    def test_include_degree_threshold_covers_several_hubs(self):
+        # two stars joined at spokes
+        edges = [(0, i) for i in range(2, 12)] + [(1, i) for i in range(2, 12)]
+        g = DiGraph(12, edges)
+        cover = vertex_cover_2approx(g, include_degree_at_least=10)
+        assert {0, 1} <= cover
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            vertex_cover_2approx(path_graph(3), order="bogus")
+
+    def test_cover_is_matching_based(self):
+        # the picked edges form a matching, so cover size is even when no
+        # seeding happened and the graph has edges
+        g = gnp_digraph(20, 0.2, seed=1)
+        cover = vertex_cover_2approx(g, order="input")
+        assert len(cover) % 2 == 0
+
+    def test_deterministic_given_order(self):
+        g = gnp_digraph(20, 0.2, seed=2)
+        assert vertex_cover_2approx(g, order="degree") == vertex_cover_2approx(
+            g, order="degree"
+        )
+
+
+class TestGreedy:
+    def test_is_cover_on_corpus(self):
+        for g in graph_corpus():
+            assert is_vertex_cover(g, greedy_vertex_cover(g))
+
+    def test_star_uses_only_hub(self):
+        assert greedy_vertex_cover(star_graph(20)) == frozenset({0})
+
+    def test_empty(self):
+        assert greedy_vertex_cover(DiGraph(4)) == frozenset()
+
+
+class TestHHopCover:
+    def test_h1_equals_vertex_cover_semantics(self):
+        g = paper_example_graph()
+        cover = hhop_vertex_cover(g, 1)
+        assert is_vertex_cover(g, cover)
+
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_is_hhop_cover_on_corpus(self, h):
+        for g in graph_corpus():
+            cover = hhop_vertex_cover(g, h)
+            assert is_hhop_vertex_cover(g, cover, h), (g, h)
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            hhop_vertex_cover(path_graph(3), 0)
+        with pytest.raises(ValueError):
+            is_hhop_vertex_cover(path_graph(3), set(), 0)
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            hhop_vertex_cover(path_graph(5), 2, order="bogus")
+
+    def test_path_2hop_cover_smaller_than_vc(self):
+        # On a long path, a 2-hop cover needs ~n/3 vertices vs ~n/2 for VC.
+        g = path_graph(30)
+        vc = hhop_vertex_cover(g, 1)
+        vc2 = hhop_vertex_cover(g, 2)
+        assert len(vc2) <= len(vc)
+
+    def test_short_path_needs_no_2hop_cover(self):
+        # a single edge has no path of length 2
+        g = DiGraph(2, [(0, 1)])
+        assert hhop_vertex_cover(g, 2) == frozenset()
+        assert is_hhop_vertex_cover(g, frozenset(), 2)
+
+    def test_cycle_needs_cover(self):
+        g = cycle_graph(6)
+        assert not is_hhop_vertex_cover(g, frozenset(), 2)
+        cover = hhop_vertex_cover(g, 2)
+        assert is_hhop_vertex_cover(g, cover, 2)
+
+    def test_lemma1_i_hop_cover_is_j_hop_cover(self):
+        # Lemma 1: an i-hop vertex cover is a j-hop cover for j >= i.
+        for g in graph_corpus():
+            cover = hhop_vertex_cover(g, 2)
+            assert is_hhop_vertex_cover(g, cover, 2)
+            assert is_hhop_vertex_cover(g, cover, 3)
+            assert is_hhop_vertex_cover(g, cover, 4)
+
+    def test_paper_2hop_cover_valid(self):
+        g = paper_example_graph()
+        ids = {lab: g.vertex_id(lab) for lab in "abcdefghij"}
+        assert is_hhop_vertex_cover(g, {ids["d"], ids["e"], ids["g"]}, 2)
+        # but it is NOT a 1-hop vertex cover (edge a->b uncovered)
+        assert not is_vertex_cover(g, {ids["d"], ids["e"], ids["g"]})
+
+    def test_approximation_ratio_bound(self):
+        # (h+1)-approximation: compare against a crude lower bound of the
+        # optimum via vertex-disjoint length-h paths picked by the algorithm.
+        g = path_graph(40)
+        cover = hhop_vertex_cover(g, 2)
+        # optimum for a path of n vertices is floor(n/3); ratio <= 3
+        assert len(cover) <= 3 * (40 // 3)
+
+
+class TestDispatch:
+    def test_all_strategies_produce_covers(self):
+        g = gnp_digraph(15, 0.2, seed=0)
+        for strategy in COVER_STRATEGIES:
+            cover = cover_from_strategy(g, strategy)
+            assert is_vertex_cover(g, cover), strategy
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown cover strategy"):
+            cover_from_strategy(path_graph(3), "nope")

@@ -1,0 +1,72 @@
+"""Consistency checks for the recorded published numbers."""
+
+from repro.datasets import DATASET_NAMES, paper_tables
+
+
+INDEX_LABELS = {"n-reach", "PTree", "3-hop", "GRAIL", "PWAH"}
+
+
+class TestTableCompleteness:
+    def test_table3_covers_all_datasets_and_indexes(self):
+        assert set(paper_tables.CONSTRUCTION_MS) == set(DATASET_NAMES)
+        for row in paper_tables.CONSTRUCTION_MS.values():
+            assert set(row) == INDEX_LABELS
+
+    def test_table4_covers_all(self):
+        assert set(paper_tables.INDEX_SIZE_MB) == set(DATASET_NAMES)
+
+    def test_table5_covers_all(self):
+        assert set(paper_tables.QUERY_MS_1M) == set(DATASET_NAMES)
+
+    def test_table7_covers_all(self):
+        assert set(paper_tables.KREACH_QUERY_MS_1M) == set(DATASET_NAMES)
+        assert set(paper_tables.MU_BFS_MS_1M) == set(DATASET_NAMES)
+        assert set(paper_tables.MU_DIST_MS_1M) == set(DATASET_NAMES)
+
+    def test_table8_rows_sum_to_100(self):
+        for name, cases in paper_tables.CASE_PERCENTAGES.items():
+            assert abs(sum(cases) - 100.0) < 0.5, name
+
+    def test_table9_subset(self):
+        assert set(paper_tables.COVER_SIZES) <= set(DATASET_NAMES)
+        for vc, vc2, t_mu, t_2mu in paper_tables.COVER_SIZES.values():
+            assert vc2 < vc  # Corollary 1's practical effect
+            assert t_2mu > t_mu  # the tradeoff costs query time
+
+    def test_rankings_are_permutation_like(self):
+        for metric in paper_tables.RANKINGS.values():
+            assert sorted(metric.values()) == [1, 2, 3, 4, 5]
+
+
+class TestShapeClaims:
+    """The paper's headline comparisons, as recorded."""
+
+    def test_nreach_fastest_queries_on_most_datasets(self):
+        wins = sum(
+            1
+            for row in paper_tables.QUERY_MS_1M.values()
+            if row["n-reach"] == min(v for v in row.values() if v is not None)
+        )
+        assert wins >= 10  # "fastest in almost all cases"
+
+    def test_nreach_builds_faster_than_ptree_everywhere(self):
+        for name, row in paper_tables.CONSTRUCTION_MS.items():
+            assert row["n-reach"] < row["PTree"], name
+
+    def test_mu_bfs_orders_slower_than_kreach(self):
+        for name in DATASET_NAMES:
+            mu_reach = paper_tables.KREACH_QUERY_MS_1M[name]["mu"]
+            assert paper_tables.MU_BFS_MS_1M[name] > 50 * mu_reach, name
+
+    def test_kreach_flat_in_k(self):
+        for name, row in paper_tables.KREACH_QUERY_MS_1M.items():
+            values = list(row.values())
+            assert max(values) / min(values) < 1.25, name
+
+    def test_3hop_fails_on_majority(self):
+        failures = sum(
+            1
+            for row in paper_tables.CONSTRUCTION_MS.values()
+            if row["3-hop"] is None
+        )
+        assert failures >= 8

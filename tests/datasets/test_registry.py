@@ -1,0 +1,90 @@
+"""Dataset registry tests: completeness, determinism, loose calibration."""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES, DATASETS, load, spec
+from repro.datasets.registry import _stable_seed
+from repro.graph.scc import condensation
+from repro.graph.stats import summarize
+
+
+class TestRegistryShape:
+    def test_fifteen_datasets(self):
+        assert len(DATASETS) == 15
+        assert set(DATASET_NAMES) == set(DATASETS)
+
+    def test_paper_table2_rows_recorded(self):
+        agro = spec("AgroCyc")
+        assert (agro.n, agro.m) == (13969, 17694)
+        assert (agro.n_dag, agro.m_dag) == (12684, 13657)
+        assert (agro.deg_max, agro.diameter, agro.mu) == (5488, 10, 2)
+
+    def test_case_insensitive_lookup(self):
+        assert spec("agrocyc").name == "AgroCyc"
+        assert spec("YAGO").name == "YAGO"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            spec("nonexistent")
+
+    def test_families_assigned(self):
+        families = {s.family for s in DATASETS.values()}
+        assert families == {
+            "metabolic",
+            "metabolic-core",
+            "citation",
+            "xml",
+            "ontology",
+            "semantic",
+        }
+
+
+class TestBuild:
+    def test_scale_controls_size(self):
+        small = load("GO", scale=0.1)
+        smaller = load("GO", scale=0.05)
+        assert small.n == int(6793 * 0.1)
+        assert smaller.n < small.n
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load("GO", scale=0)
+
+    def test_deterministic_default_seed(self):
+        assert load("Nasa", scale=0.1) == load("Nasa", scale=0.1)
+
+    def test_explicit_seed_changes_graph(self):
+        assert load("Nasa", scale=0.1, seed=1) != load("Nasa", scale=0.1, seed=2)
+
+    def test_stable_seed_is_stable(self):
+        # guards against PYTHONHASHSEED-dependent behavior
+        assert _stable_seed("AgroCyc") == _stable_seed("AgroCyc")
+        assert _stable_seed("AgroCyc") != _stable_seed("Kegg")
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_loose_calibration_bands(name):
+    """Structural fidelity of every stand-in at small scale.
+
+    Loose on purpose: the calibration targets the *shape* k-reach interacts
+    with, not exact statistics.
+    """
+    s = spec(name)
+    scale = 0.15
+    g = s.build(scale=scale)
+    assert g.n == max(16, int(s.n * scale))
+    # edge count within 40%
+    assert abs(g.m - s.m * scale) / (s.m * scale) < 0.4, g.m
+    cond = condensation(g)
+    published_dag_ratio = s.n_dag / s.n
+    ours_dag_ratio = cond.dag.n / g.n
+    if published_dag_ratio > 0.95:
+        assert ours_dag_ratio > 0.9
+    elif published_dag_ratio < 0.5:
+        assert ours_dag_ratio < 0.6
+    # diameter within a factor of 2 of the published value
+    summ = summarize(g, sample_size=min(g.n, 500))
+    assert summ.diameter <= 2 * s.diameter + 2
+    assert summ.diameter >= max(2, s.diameter // 2 - 1)
+    # mu within +-3 hops
+    assert abs(summ.mu - s.mu) <= 3

@@ -1,0 +1,147 @@
+"""Synthetic generator family tests: structural signatures per family."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    citation_graph,
+    metabolic_core_graph,
+    metabolic_graph,
+    semantic_graph,
+    xml_graph,
+)
+from repro.graph.scc import condensation
+from repro.graph.topo import is_acyclic
+
+
+class TestMetabolic:
+    def test_exact_n_and_close_m(self):
+        g = metabolic_graph(2000, 2600, seed=1)
+        assert g.n == 2000
+        assert abs(g.m - 2600) / 2600 < 0.25
+
+    def test_hub_degree_fraction(self):
+        g = metabolic_graph(2000, 2600, hub_degree_fraction=0.4, seed=1)
+        assert g.degree(0) > 0.3 * 2000
+
+    def test_reaction_loops_bound_scc_size(self):
+        g = metabolic_graph(2000, 2600, seed=2)
+        cond = condensation(g)
+        # SCCs come only from the star-shaped reaction loops
+        assert int(cond.component_sizes.max()) <= 12
+        # the DAG deficit should be near the requested fraction
+        deficit = (g.n - cond.dag.n) / g.n
+        assert 0.02 < deficit < 0.2
+
+    def test_deterministic(self):
+        assert metabolic_graph(1000, 1300, seed=5) == metabolic_graph(
+            1000, 1300, seed=5
+        )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            metabolic_graph(10, 20)
+
+
+class TestMetabolicCore:
+    def test_giant_scc(self):
+        g = metabolic_core_graph(2000, 4800, core_fraction=0.7, seed=1)
+        cond = condensation(g)
+        assert int(cond.component_sizes.max()) >= 0.6 * 2000
+        # |V_DAG| far below |V|
+        assert cond.dag.n < 0.5 * g.n
+
+    def test_small_cover_signature(self):
+        # hub-mediated core: the vertex cover stays a small fraction of n
+        # (the paper's Table 9 signature for aMaze/Kegg)
+        from repro.core.vertex_cover import vertex_cover_2approx
+
+        g = metabolic_core_graph(2000, 4800, seed=2)
+        cover = vertex_cover_2approx(g)
+        assert len(cover) < 0.25 * g.n
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            metabolic_core_graph(5, 10)
+
+
+class TestCitation:
+    def test_pure_dag(self):
+        g = citation_graph(1500, 9000, seed=1)
+        assert is_acyclic(g)
+        cond = condensation(g)
+        assert cond.dag.n == g.n  # |V_DAG| == |V| like ArXiv/CiteSeer
+
+    def test_edges_point_backward(self):
+        g = citation_graph(500, 2000, seed=2)
+        assert all(u > v for u, v in g.edges())
+
+    def test_window_bounds_jumps(self):
+        g = citation_graph(1000, 3000, window_fraction=0.02, seed=3)
+        window = max(2, int(0.02 * 1000))
+        assert all(u - v <= window for u, v in g.edges())
+
+    def test_preferential_concentrates_indegree(self):
+        flat = citation_graph(1500, 9000, preferential=0.0, seed=4)
+        skewed = citation_graph(1500, 9000, preferential=0.8, seed=4)
+        assert skewed.in_degrees().max() > 2 * flat.in_degrees().max()
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            citation_graph(2, 2)
+
+
+class TestXml:
+    def test_tree_plus_refs_acyclic(self):
+        g = xml_graph(1000, 1400, seed=1)
+        assert is_acyclic(g)
+        assert g.n == 1000
+
+    def test_trunk_depth_deepens(self):
+        from repro.graph.stats import shortest_path_stats
+
+        shallow = xml_graph(800, 900, branching=6, trunk_depth=None, seed=2)
+        deep = xml_graph(800, 900, branching=2, trunk_depth=20, seed=2)
+        d_shallow, _ = shortest_path_stats(shallow, sample_size=None)
+        d_deep, _ = shortest_path_stats(deep, sample_size=None)
+        assert d_deep > d_shallow
+
+    def test_caterpillar_cover_stays_on_trunks(self):
+        from repro.core.vertex_cover import vertex_cover_2approx
+
+        g = xml_graph(1000, 1300, branching=2, trunk_depth=15, seed=4)
+        cover = vertex_cover_2approx(g)
+        assert len(cover) < 0.6 * g.n
+
+    def test_hub_fraction_creates_catalog_node(self):
+        g = xml_graph(800, 1600, hub_fraction=0.9, seed=3)
+        assert g.out_degree(0) > 0.5 * (1600 - 799)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            xml_graph(1, 1)
+
+
+class TestSemantic:
+    def test_dag_with_exact_n(self):
+        g = semantic_graph(1200, 4000, seed=1)
+        assert g.n == 1200
+        assert is_acyclic(g)
+
+    def test_skew_concentrates_parents(self):
+        flat = semantic_graph(1200, 4000, levels=3, hub_skew=0.0, seed=2)
+        skewed = semantic_graph(1200, 4000, levels=3, hub_skew=1.8, seed=2)
+        assert skewed.in_degrees().max() > 1.5 * flat.in_degrees().max()
+
+    def test_spine_lengthens_diameter(self):
+        from repro.graph.stats import shortest_path_stats
+
+        base = semantic_graph(1000, 3000, levels=2, spine_length=0, seed=3)
+        spined = semantic_graph(1000, 3000, levels=2, spine_length=12, seed=3)
+        d_base, _ = shortest_path_stats(base, sample_size=None)
+        d_spined, _ = shortest_path_stats(spined, sample_size=None)
+        assert d_spined >= d_base + 8
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            semantic_graph(3, 5, levels=10)

@@ -1,0 +1,76 @@
+"""GraphBuilder tests."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_empty(self):
+        g = GraphBuilder().build()
+        assert g.n == 0 and g.m == 0
+
+    def test_grows_universe_on_demand(self):
+        b = GraphBuilder()
+        b.add_edge(0, 5)
+        assert b.n == 6
+
+    def test_initial_size_preserved(self):
+        b = GraphBuilder(10)
+        b.add_edge(0, 1)
+        assert b.build().n == 10
+
+    def test_negative_initial_size(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(-1)
+
+    def test_negative_vertex(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().add_edge(-1, 0)
+
+    def test_add_vertex_returns_fresh_id(self):
+        b = GraphBuilder(3)
+        assert b.add_vertex() == 3
+        assert b.add_vertex() == 4
+
+    def test_add_edges(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 2)])
+        assert b.edge_count == 2
+
+    def test_add_path(self):
+        b = GraphBuilder()
+        b.add_path([0, 1, 2, 3])
+        g = b.build()
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and g.has_edge(2, 3)
+        assert g.m == 3
+
+    def test_add_path_single_vertex(self):
+        b = GraphBuilder()
+        b.add_path([4])
+        assert b.edge_count == 0 and b.n == 5
+
+    def test_add_cycle(self):
+        b = GraphBuilder()
+        b.add_cycle([0, 1, 2])
+        g = b.build()
+        assert g.has_edge(2, 0)
+        assert g.m == 3
+
+    def test_add_cycle_too_short(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().add_cycle([0])
+
+    def test_self_loops_follow_flag(self):
+        b = GraphBuilder(allow_self_loops=True)
+        b.add_edge(0, 0)
+        assert b.build().m == 1
+        b2 = GraphBuilder()
+        b2.add_edge(0, 0)
+        assert b2.build().m == 0
+
+    def test_duplicates_collapsed_at_build(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1)] * 5)
+        assert b.edge_count == 5
+        assert b.build().m == 1

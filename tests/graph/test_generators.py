@@ -1,0 +1,115 @@
+"""Generator shape tests, including the reconstructed paper example."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    PAPER_EXAMPLE_LABELS,
+    balanced_tree,
+    complete_digraph,
+    cycle_graph,
+    gnp_digraph,
+    layered_dag,
+    paper_example_graph,
+    path_graph,
+    power_law_digraph,
+    random_dag,
+    random_tree,
+    star_graph,
+)
+from repro.graph.topo import is_acyclic
+from repro.graph.traversal import bfs_distances
+
+
+class TestBasicShapes:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.n == 5 and g.m == 4
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert g.m == 4
+        with pytest.raises(ValueError):
+            cycle_graph(1)
+
+    def test_complete(self):
+        g = complete_digraph(4)
+        assert g.m == 12
+
+    def test_star_directions(self):
+        out = star_graph(5)
+        assert out.out_degree(0) == 4 and out.in_degree(0) == 0
+        inw = star_graph(5, inward=True)
+        assert inw.in_degree(0) == 4 and inw.out_degree(0) == 0
+        with pytest.raises(ValueError):
+            star_graph(0)
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(20, seed=1)
+        assert g.m == 19
+        assert is_acyclic(g)
+        assert all(g.in_degree(v) == 1 for v in range(1, 20))
+
+    def test_balanced_tree(self):
+        g = balanced_tree(2, 3)
+        assert g.n == 15 and g.m == 14
+        with pytest.raises(ValueError):
+            balanced_tree(0, 2)
+
+
+class TestRandomFamilies:
+    def test_gnp_bounds(self):
+        g = gnp_digraph(20, 0.5, seed=0)
+        assert 0 < g.m <= 20 * 19
+        assert gnp_digraph(0, 0.5).n == 0
+        with pytest.raises(ValueError):
+            gnp_digraph(5, 1.5)
+
+    def test_gnp_deterministic(self):
+        a, b = gnp_digraph(15, 0.2, seed=3), gnp_digraph(15, 0.2, seed=3)
+        assert a == b
+
+    def test_random_dag_acyclic_and_sized(self):
+        g = random_dag(20, 50, seed=1)
+        assert g.m == 50
+        assert is_acyclic(g)
+
+    def test_random_dag_dense_request(self):
+        g = random_dag(8, 1000, seed=2)
+        assert g.m == 8 * 7 // 2  # clamped to the maximum
+        assert is_acyclic(g)
+
+    def test_layered_dag(self):
+        g = layered_dag(5, 4, p=0.4, seed=0)
+        assert g.n == 20
+        assert is_acyclic(g)
+        # connectivity guarantee: last layer reachable from first
+        dist = bfs_distances(g, 0)
+        assert dist[16:].max() >= 4 or (dist[16:] >= 0).any()
+
+    def test_power_law_has_skew(self):
+        g = power_law_digraph(300, 2000, seed=1)
+        degs = np.sort(g.degrees())[::-1]
+        assert degs[0] > 4 * max(1, np.median(degs))
+
+
+class TestPaperExample:
+    def test_exact_edge_set(self):
+        g = paper_example_graph()
+        expect = {("a", "b"), ("c", "b"), ("b", "d"), ("d", "e"), ("d", "f"),
+                  ("e", "g"), ("g", "h"), ("g", "i"), ("i", "j")}
+        got = {(g.vertex_label(u), g.vertex_label(v)) for u, v in g.edges()}
+        assert got == expect
+
+    def test_labels_in_order(self):
+        g = paper_example_graph()
+        assert tuple(g.vertex_label(i) for i in range(10)) == PAPER_EXAMPLE_LABELS
+
+    def test_structural_claims(self):
+        g = paper_example_graph()
+        a, j = g.vertex_id("a"), g.vertex_id("j")
+        assert g.in_degree(a) == 0  # Example 4: inNei_i(a) is empty
+        assert g.in_degree(j) == 1  # j's only in-neighbor is i
+        # Example 2: j is at distance >= 4 from d
+        d = g.vertex_id("d")
+        assert bfs_distances(g, d)[j] == 4

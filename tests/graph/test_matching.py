@@ -1,0 +1,90 @@
+"""Hopcroft–Karp maximum-matching tests, validated by brute force."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro.graph.matching import hopcroft_karp
+
+
+def brute_force_max_matching(adjacency: list[list[int]], n_right: int) -> int:
+    """Exhaustive maximum matching size (small instances only)."""
+    n_left = len(adjacency)
+    best = 0
+    # Try all injective assignments of a subset of left vertices.
+    sets = [set(a) for a in adjacency]
+
+    def search(u: int, used: set[int], size: int) -> None:
+        nonlocal best
+        best = max(best, size)
+        if u == n_left:
+            return
+        search(u + 1, used, size)
+        for v in sets[u]:
+            if v not in used:
+                used.add(v)
+                search(u + 1, used, size + 1)
+                used.remove(v)
+
+    search(0, set(), 0)
+    return best
+
+
+def check_valid(adjacency, match_left, match_right):
+    for u, v in enumerate(match_left):
+        if v != -1:
+            assert v in adjacency[u]
+            assert match_right[v] == u
+    matched_rights = [v for v in match_left if v != -1]
+    assert len(matched_rights) == len(set(matched_rights))
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        adjacency = [[0], [1], [2]]
+        ml, mr, size = hopcroft_karp(adjacency, 3, 3)
+        assert size == 3
+        check_valid(adjacency, ml, mr)
+
+    def test_no_edges(self):
+        ml, mr, size = hopcroft_karp([[], []], 2, 2)
+        assert size == 0
+        assert ml == [-1, -1]
+
+    def test_contested_vertex(self):
+        # both left vertices want right 0; only one wins
+        adjacency = [[0], [0]]
+        _, _, size = hopcroft_karp(adjacency, 2, 1)
+        assert size == 1
+
+    def test_augmenting_path_needed(self):
+        # classic case requiring an augmenting flip
+        adjacency = [[0, 1], [0]]
+        ml, mr, size = hopcroft_karp(adjacency, 2, 2)
+        assert size == 2
+        check_valid(adjacency, ml, mr)
+
+    def test_wrong_row_count(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp([[0]], 2, 1)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n_left = int(rng.integers(1, 8))
+        n_right = int(rng.integers(1, 8))
+        adjacency = [
+            sorted(set(int(v) for v in rng.integers(0, n_right, size=rng.integers(0, 5))))
+            for _ in range(n_left)
+        ]
+        ml, mr, size = hopcroft_karp(adjacency, n_left, n_right)
+        check_valid(adjacency, ml, mr)
+        assert size == brute_force_max_matching(adjacency, n_right)
+
+    def test_long_chain(self):
+        # path-shaped bipartite graph: matching = ceil(n/2)... here exact
+        n = 50
+        adjacency = [[i, i + 1] if i + 1 < n else [i] for i in range(n)]
+        _, _, size = hopcroft_karp(adjacency, n, n)
+        assert size == n

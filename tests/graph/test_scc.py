@@ -1,0 +1,120 @@
+"""SCC and condensation tests, cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, gnp_digraph, path_graph
+from repro.graph.scc import condensation, strongly_connected_components
+from repro.graph.topo import is_acyclic
+
+
+def to_nx(g: DiGraph) -> nx.DiGraph:
+    h = nx.DiGraph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.edges())
+    return h
+
+
+def partitions_equal(comp: np.ndarray, nx_sccs) -> bool:
+    ours = {}
+    for v, c in enumerate(comp):
+        ours.setdefault(int(c), set()).add(v)
+    return sorted(map(frozenset, ours.values()), key=sorted) == sorted(
+        map(frozenset, nx_sccs), key=sorted
+    )
+
+
+class TestTarjan:
+    def test_path_graph_all_trivial(self):
+        comp = strongly_connected_components(path_graph(5))
+        assert len(set(comp.tolist())) == 5
+
+    def test_cycle_single_component(self):
+        comp = strongly_connected_components(cycle_graph(6))
+        assert len(set(comp.tolist())) == 1
+
+    def test_two_cycle_with_tail(self):
+        g = DiGraph(3, [(0, 1), (1, 0), (1, 2)])
+        comp = strongly_connected_components(g)
+        assert comp[0] == comp[1] != comp[2]
+
+    def test_empty_graph(self):
+        comp = strongly_connected_components(DiGraph(0))
+        assert len(comp) == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        g = gnp_digraph(30, 0.08, seed=seed)
+        comp = strongly_connected_components(g)
+        assert partitions_equal(comp, nx.strongly_connected_components(to_nx(g)))
+
+    def test_deep_path_no_recursion_error(self):
+        # 50k-vertex path would blow Python's recursion limit if recursive.
+        n = 50_000
+        g = path_graph(n)
+        comp = strongly_connected_components(g)
+        assert len(set(comp.tolist())) == n
+
+    def test_reverse_topological_numbering(self):
+        # Tarjan emits sink components first: every DAG edge (a, b) must
+        # have comp id of a greater than comp id of b.
+        g = gnp_digraph(25, 0.1, seed=11)
+        cond = condensation(g)
+        for a, b in cond.dag.edges():
+            assert a > b
+
+
+class TestCondensation:
+    def test_dag_is_acyclic(self):
+        for seed in range(5):
+            g = gnp_digraph(25, 0.12, seed=seed)
+            assert is_acyclic(condensation(g).dag)
+
+    def test_sizes_sum_to_n(self):
+        g = gnp_digraph(30, 0.1, seed=3)
+        cond = condensation(g)
+        assert int(cond.component_sizes.sum()) == g.n
+
+    def test_members_partition(self):
+        g = gnp_digraph(20, 0.15, seed=5)
+        cond = condensation(g)
+        seen = set()
+        for c in range(cond.num_components):
+            members = set(cond.members(c).tolist())
+            assert not (members & seen)
+            seen |= members
+        assert seen == set(range(g.n))
+
+    def test_edge_correspondence(self):
+        # DAG has edge (c1, c2) iff some original edge crosses the SCCs.
+        g = gnp_digraph(25, 0.1, seed=7)
+        cond = condensation(g)
+        expected = set()
+        for u, v in g.edges():
+            cu, cv = int(cond.component_of[u]), int(cond.component_of[v])
+            if cu != cv:
+                expected.add((cu, cv))
+        assert set(cond.dag.edges()) == expected
+
+    def test_matches_networkx_condensation(self):
+        g = gnp_digraph(30, 0.1, seed=9)
+        ours = condensation(g)
+        theirs = nx.condensation(to_nx(g))
+        assert ours.dag.n == theirs.number_of_nodes()
+        assert ours.dag.m == theirs.number_of_edges()
+
+    def test_is_trivial(self):
+        g = DiGraph(3, [(0, 1), (1, 0), (1, 2)])
+        cond = condensation(g)
+        c_cycle = int(cond.component_of[0])
+        c_tail = int(cond.component_of[2])
+        assert not cond.is_trivial(c_cycle)
+        assert cond.is_trivial(c_tail)
+
+    def test_paper_table2_style_counts(self):
+        # A graph of two 3-cycles bridged by an edge condenses to 2 vertices.
+        g = DiGraph(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)])
+        cond = condensation(g)
+        assert cond.dag.n == 2 and cond.dag.m == 1

@@ -1,0 +1,84 @@
+"""Graph statistics tests (the Table-2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    complete_digraph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.stats import graph_h_index, shortest_path_stats, summarize
+
+
+class TestShortestPathStats:
+    def test_path_graph(self):
+        d, mu = shortest_path_stats(path_graph(9))
+        assert d == 8
+        # distances 1..8 with multiplicities 8..1; median is 3
+        assert mu == 3
+
+    def test_cycle(self):
+        d, mu = shortest_path_stats(cycle_graph(6))
+        assert d == 5
+        assert mu == 3
+
+    def test_complete_graph(self):
+        d, mu = shortest_path_stats(complete_digraph(5))
+        assert d == 1 and mu == 1
+
+    def test_edgeless(self):
+        assert shortest_path_stats(DiGraph(5)) == (0, 0)
+
+    def test_empty(self):
+        assert shortest_path_stats(DiGraph(0)) == (0, 0)
+
+    def test_sampling_is_subset_estimate(self):
+        g = path_graph(50)
+        d_full, _ = shortest_path_stats(g)
+        d_sample, _ = shortest_path_stats(
+            g, sample_size=10, rng=np.random.default_rng(0)
+        )
+        assert d_sample <= d_full
+
+    def test_sample_size_validation(self):
+        with pytest.raises(ValueError):
+            shortest_path_stats(path_graph(5), sample_size=0)
+
+
+class TestHIndex:
+    def test_star(self):
+        # hub has degree n-1, spokes degree 1 -> h-index 1 for n > 2
+        assert graph_h_index(star_graph(10)) == 1
+
+    def test_complete(self):
+        # every vertex has degree 2(n-1) >= n: h-index = n
+        assert graph_h_index(complete_digraph(5)) == 5
+
+    def test_empty(self):
+        assert graph_h_index(DiGraph(3)) == 0
+
+
+class TestSummarize:
+    def test_path_summary(self):
+        s = summarize(path_graph(6))
+        assert s.n == 6 and s.m == 5
+        assert s.n_dag == 6 and s.m_dag == 5
+        assert s.deg_max == 2
+        assert s.diameter == 5
+
+    def test_cycle_condenses(self):
+        s = summarize(cycle_graph(5))
+        assert s.n_dag == 1 and s.m_dag == 0
+
+    def test_as_row_keys(self):
+        s = summarize(path_graph(3))
+        row = s.as_row()
+        assert set(row) == {"|V|", "|E|", "|V_DAG|", "|E_DAG|", "Degmax", "d", "mu"}
+
+    def test_degmax_union_semantics(self):
+        # vertex 0 with reciprocal edge to 1 and edge to 2: Deg = 2, not 3
+        g = DiGraph(3, [(0, 1), (1, 0), (0, 2)])
+        assert summarize(g).deg_max == 2

@@ -1,0 +1,51 @@
+"""Topological ordering tests."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, path_graph, random_dag
+from repro.graph.topo import CycleError, is_acyclic, topological_order
+
+
+class TestTopologicalOrder:
+    def test_path(self):
+        assert topological_order(path_graph(4)).tolist() == [0, 1, 2, 3]
+
+    def test_every_edge_respects_order(self):
+        g = random_dag(30, 70, seed=2)
+        order = topological_order(g)
+        position = {int(v): i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert position[u] < position[v]
+
+    def test_all_vertices_present(self):
+        g = random_dag(15, 25, seed=4)
+        assert sorted(topological_order(g).tolist()) == list(range(15))
+
+    def test_deterministic_tie_break(self):
+        g = DiGraph(3)  # no edges: pure id order
+        assert topological_order(g).tolist() == [0, 1, 2]
+
+    def test_cycle_raises(self):
+        with pytest.raises(CycleError, match="not acyclic"):
+            topological_order(cycle_graph(4))
+
+    def test_partial_cycle_raises(self):
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 1), (2, 3)])
+        with pytest.raises(CycleError):
+            topological_order(g)
+
+    def test_empty_graph(self):
+        assert topological_order(DiGraph(0)).tolist() == []
+
+
+class TestIsAcyclic:
+    def test_dag(self):
+        assert is_acyclic(random_dag(10, 15, seed=0))
+
+    def test_cycle(self):
+        assert not is_acyclic(cycle_graph(3))
+
+    def test_self_loop_graph(self):
+        g = DiGraph(2, [(0, 0), (0, 1)], allow_self_loops=True)
+        assert not is_acyclic(g)

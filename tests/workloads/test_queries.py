@@ -1,0 +1,90 @@
+"""Workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.kreach import KReachIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnp_digraph, path_graph, star_graph
+from repro.graph.traversal import reaches_within_bfs
+from repro.workloads import (
+    case_distribution,
+    celebrity_pairs,
+    positive_pairs,
+    random_pairs,
+)
+
+
+class TestRandomPairs:
+    def test_shape_and_bounds(self):
+        pairs = random_pairs(50, 200, rng=np.random.default_rng(1))
+        assert pairs.shape == (200, 2)
+        assert pairs.min() >= 0 and pairs.max() < 50
+
+    def test_deterministic_with_rng(self):
+        a = random_pairs(50, 100, rng=np.random.default_rng(3))
+        b = random_pairs(50, 100, rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_pairs(0, 10)
+        with pytest.raises(ValueError):
+            random_pairs(5, -1)
+
+    def test_zero_count(self):
+        assert random_pairs(5, 0).shape == (0, 2)
+
+
+class TestCelebrityPairs:
+    def test_one_endpoint_is_celebrity(self):
+        g = star_graph(100)
+        pairs = celebrity_pairs(g, 50, top_fraction=0.01, rng=np.random.default_rng(2))
+        # the only high-degree vertex is the hub 0
+        assert all(s == 0 or t == 0 for s, t in pairs)
+
+    def test_both_sides_used(self):
+        g = star_graph(100)
+        pairs = celebrity_pairs(g, 200, top_fraction=0.01, rng=np.random.default_rng(3))
+        assert any(s == 0 for s, t in pairs)
+        assert any(t == 0 for s, t in pairs)
+
+    def test_empty_graph(self):
+        with pytest.raises(ValueError):
+            celebrity_pairs(DiGraph(0), 5)
+
+
+class TestPositivePairs:
+    def test_all_positive_unbounded(self):
+        g = gnp_digraph(30, 0.15, seed=1)
+        pairs = positive_pairs(g, 40, rng=np.random.default_rng(1))
+        for s, t in pairs:
+            assert reaches_within_bfs(g, int(s), int(t), None)
+
+    def test_all_positive_with_k(self):
+        g = gnp_digraph(30, 0.15, seed=2)
+        pairs = positive_pairs(g, 40, k=2, rng=np.random.default_rng(2))
+        for s, t in pairs:
+            assert reaches_within_bfs(g, int(s), int(t), 2)
+
+    def test_impossible_sampling_raises(self):
+        g = DiGraph(5)  # no edges at all: no positives exist
+        with pytest.raises(RuntimeError, match="positive pairs"):
+            positive_pairs(g, 5, max_attempts_factor=3)
+
+
+class TestCaseDistribution:
+    def test_sums_to_one(self):
+        g = gnp_digraph(40, 0.1, seed=4)
+        idx = KReachIndex(g, 3)
+        pairs = random_pairs(g.n, 500, rng=np.random.default_rng(4))
+        dist = case_distribution(idx, pairs)
+        assert set(dist) == {1, 2, 3, 4}
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+
+    def test_full_cover_is_all_case1(self):
+        g = path_graph(6)
+        idx = KReachIndex(g, 2, cover=frozenset(range(6)))
+        pairs = random_pairs(6, 100, rng=np.random.default_rng(5))
+        dist = case_distribution(idx, pairs)
+        assert dist[1] == 1.0
