@@ -9,6 +9,14 @@ An index that supports only classic reachability (every comparator in the
 paper) raises :class:`UnsupportedQueryError` from :meth:`reaches_within` —
 mirroring the paper's §3 argument that those index families *cannot* answer
 k-hop queries.
+
+Every index also exposes the **batch API** the harness's bulk query path
+runs on: :meth:`reaches_batch` / :meth:`reaches_within_batch` take an
+``(m, 2)`` integer array-like of pairs and return an ``(m,)`` bool array,
+bit-identical to calling the scalar methods pair by pair.  The base class
+provides a generic scalar-loop fallback so every comparator participates
+in the batch protocol; indexes with vectorized engines (the k-reach family
+in :mod:`repro.core`) override it with real bulk evaluation.
 """
 
 from __future__ import annotations
@@ -16,6 +24,9 @@ from __future__ import annotations
 import abc
 from typing import ClassVar
 
+import numpy as np
+
+from repro.core.batch import as_pair_arrays
 from repro.graph.digraph import DiGraph
 
 __all__ = ["ReachabilityIndex", "UnsupportedQueryError", "IndexBudgetExceeded"]
@@ -57,6 +68,35 @@ class ReachabilityIndex(abc.ABC):
         raise UnsupportedQueryError(
             f"{type(self).__name__} answers classic reachability only (paper §3)"
         )
+
+    def reaches_batch(self, pairs) -> np.ndarray:
+        """Bulk :meth:`reaches`: an ``(m,)`` bool array aligned with ``pairs``.
+
+        Generic scalar-loop fallback (pairs pre-converted to Python ints so
+        the loop pays only the query cost); accepts any ``(m, 2)`` integer
+        array-like, returns a ``(0,)`` bool array for empty input, and
+        raises :class:`ValueError` for out-of-range vertex ids.
+        """
+        s, t = as_pair_arrays(pairs, self.graph.n)
+        out = np.zeros(len(s), dtype=bool)
+        reaches = self.reaches
+        for i, (si, ti) in enumerate(zip(s.tolist(), t.tolist())):
+            out[i] = reaches(si, ti)
+        return out
+
+    def reaches_within_batch(self, pairs, k: int) -> np.ndarray:
+        """Bulk :meth:`reaches_within` (same contract as :meth:`reaches_batch`).
+
+        Classic-only families raise :class:`UnsupportedQueryError`, exactly
+        like the scalar method — an empty batch asks nothing and returns an
+        empty answer.
+        """
+        s, t = as_pair_arrays(pairs, self.graph.n)
+        out = np.zeros(len(s), dtype=bool)
+        reaches_within = self.reaches_within
+        for i, (si, ti) in enumerate(zip(s.tolist(), t.tolist())):
+            out[i] = reaches_within(si, ti, k)
+        return out
 
     @abc.abstractmethod
     def storage_bytes(self) -> int:

@@ -15,7 +15,14 @@ import numpy as np
 
 from repro.baselines.base import IndexBudgetExceeded
 
-__all__ = ["BuildOutcome", "QueryTiming", "timed", "build_index", "time_queries"]
+__all__ = [
+    "BuildOutcome",
+    "QueryTiming",
+    "timed",
+    "build_index",
+    "time_queries",
+    "time_batch_queries",
+]
 
 
 @dataclass(frozen=True)
@@ -91,3 +98,23 @@ def time_queries(
             positives += 1
     seconds = time.perf_counter() - start
     return QueryTiming(seconds=seconds, count=len(plain), positives=positives)
+
+
+def time_batch_queries(
+    query_batch: Callable[[np.ndarray], np.ndarray], pairs: np.ndarray
+) -> QueryTiming:
+    """Time one bulk call of a batch query engine.
+
+    The counterpart of :func:`time_queries` for the vectorized path:
+    ``query_batch`` takes the whole ``(m, 2)`` pair array and returns an
+    ``(m,)`` bool array.  Array preparation happens outside the clock,
+    mirroring the scalar harness's pre-conversion of pairs.
+    """
+    arr = np.ascontiguousarray(np.asarray(pairs, dtype=np.int64))
+    start = time.perf_counter()
+    answers = query_batch(arr)
+    seconds = time.perf_counter() - start
+    answers = np.asarray(answers)
+    return QueryTiming(
+        seconds=seconds, count=len(arr), positives=int(np.count_nonzero(answers))
+    )

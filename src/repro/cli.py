@@ -4,8 +4,13 @@ Usage::
 
     python -m repro.cli table2 --scale 0.2
     python -m repro.cli table3-4-5 --scale 1.0 --queries 100000
+    python -m repro.cli throughput --scale 0.2 --queries 100000
     python -m repro.cli all --scale 0.2 --output results.txt
     kreach-bench table8            # installed console script
+
+Query-timing experiments (Tables 5/7 and ``throughput``) run through the
+vectorized batch engine; ``throughput`` additionally reports the batch
+engine's speedup over the scalar per-pair loop.
 
 Every experiment accepts ``--scale`` (1.0 = paper-sized graphs),
 ``--queries``, ``--datasets`` (comma-separated subset) and ``--seed``.

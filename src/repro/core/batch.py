@@ -1,0 +1,324 @@
+"""Shared kernels for the vectorized batch query engine.
+
+The paper times every index on 1M random vertex pairs (§6.2.2); answering
+them one at a time through Python loops leaves an order of magnitude on
+the table.  This module holds the numpy building blocks the batch paths of
+:class:`~repro.core.kreach.KReachIndex`,
+:class:`~repro.core.hkreach.HKReachIndex` and the general-k structures
+share:
+
+* :class:`KeyedRowStore` — the index's ``{u: {v: weight}}`` row store
+  flattened into one sorted ``u * n + v`` key array, so a *bulk* weight
+  lookup is a single :func:`numpy.searchsorted` instead of per-pair dict
+  probes.  WAH-compressed hub rows are expanded through
+  :meth:`~repro.core.rowstore.CompressedRow.arrays` (vectorized bitmap
+  decode) when the store is built.
+* :func:`gather_segments` — concatenate the CSR adjacency lists of a
+  vertex array in O(f + t) numpy work, tagging every neighbor with the
+  position of the query pair that owns it.  This is what replaces the
+  per-pair Case-2/3 neighbor scans.
+* :func:`plan_cross_products` — chunked materialization of the per-pair
+  ``outNei(s) × inNei(t)`` cross products Case 4 bridges over, with a
+  bound on transient memory: pairs whose cross product alone exceeds the
+  chunk budget are returned separately so callers can fall back to the
+  scalar (early-exiting) path for those few hub×hub queries.
+
+All kernels operate on dense int64 vertex ids; booleans come back as
+``np.ndarray[bool]`` aligned with the caller's pair order.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "MISSING_WEIGHT",
+    "UNBOUNDED_BUDGET",
+    "KeyedRowStore",
+    "as_pair_arrays",
+    "gather_segments",
+    "segment_any",
+    "plan_cross_products",
+    "edge_keys",
+    "has_edge_batch",
+    "case_codes",
+]
+
+#: Sentinel weight returned by :meth:`KeyedRowStore.lookup` for absent
+#: edges.  Larger than any real weight *and* any budget (including
+#: :data:`UNBOUNDED_BUDGET`), so ``weight <= budget`` is False for misses
+#: without a separate mask.
+MISSING_WEIGHT = np.int64(1) << 62
+
+#: Budget standing in for "no hop bound" (the k=None modes).  Any stored
+#: weight compares ``<=`` it; :data:`MISSING_WEIGHT` does not.
+UNBOUNDED_BUDGET = np.int64(1) << 61
+
+
+def as_pair_arrays(pairs: object, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a batch of (s, t) pairs and split it into int64 columns.
+
+    Accepts anything :func:`numpy.asarray` turns into an ``(m, 2)`` integer
+    array (lists of tuples included).  Empty inputs yield two length-0
+    arrays.  Raises :class:`ValueError` on malformed shapes or on any
+    vertex id outside ``[0, n)`` — same contract as the scalar queries.
+    """
+    arr = np.asarray(pairs)
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    if arr.dtype.kind not in "iu":
+        raise ValueError(
+            f"pairs must be integer vertex ids, got dtype {arr.dtype}"
+        )
+    arr = arr.astype(np.int64, copy=False)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"pairs must be an (m, 2) array, got shape {arr.shape}")
+    if int(arr.min()) < 0 or int(arr.max()) >= n:
+        raise ValueError(f"query vertex out of range [0, {n})")
+    return np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1])
+
+
+class KeyedRowStore:
+    """A row store flattened to sorted ``u * n + v`` keys for bulk lookup.
+
+    Parameters
+    ----------
+    rows:
+        ``{u: row}`` where each row is either a plain ``{v: weight}`` dict
+        or a :class:`~repro.core.rowstore.CompressedRow`.
+    n:
+        Vertex-id universe size (the key stride).
+
+    Examples
+    --------
+    >>> store = KeyedRowStore({0: {2: 1, 3: 2}, 3: {0: 1}}, n=4)
+    >>> store.lookup(np.array([0, 0, 3]), np.array([3, 1, 0])).tolist()
+    [2, 4611686018427387904, 1]
+    """
+
+    __slots__ = ("_keys", "_weights", "_n")
+
+    def __init__(self, rows: Mapping[int, object], n: int) -> None:
+        key_parts: list[np.ndarray] = []
+        weight_parts: list[np.ndarray] = []
+        plain: list[tuple[int, dict]] = []
+        compressed: list[tuple[int, object]] = []
+        for u, row in rows.items():
+            if isinstance(row, dict):
+                plain.append((u, row))
+            else:
+                compressed.append((u, row))
+        # Ascending-source iteration keeps the flattened keys grouped in
+        # ascending u blocks; rows built by the vectorized BFS sweep also
+        # list their targets in ascending order, so the common big stores
+        # come out already sorted and skip the argsort + gathers below.
+        plain.sort(key=lambda item: item[0])
+        if plain:
+            # One chained fromiter per column instead of two small arrays
+            # per row: on hub-heavy indexes |E_I| runs into the millions
+            # and per-row numpy overhead dominates the build otherwise.
+            counts = np.fromiter(
+                (len(row) for _, row in plain), dtype=np.int64, count=len(plain)
+            )
+            total = int(counts.sum())
+            targets = np.fromiter(
+                chain.from_iterable(row.keys() for _, row in plain),
+                dtype=np.int64,
+                count=total,
+            )
+            weights = np.fromiter(
+                chain.from_iterable(row.values() for _, row in plain),
+                dtype=np.int64,
+                count=total,
+            )
+            sources = np.repeat(
+                np.fromiter((u for u, _ in plain), dtype=np.int64, count=len(plain)),
+                counts,
+            )
+            key_parts.append(sources * n + targets)
+            weight_parts.append(weights)
+        for u, row in compressed:  # vectorized per-level bitmap decode
+            targets, weights = row.arrays()
+            key_parts.append(np.int64(u) * n + targets)
+            weight_parts.append(weights)
+        if key_parts:
+            keys = np.concatenate(key_parts) if len(key_parts) > 1 else key_parts[0]
+            weights = (
+                np.concatenate(weight_parts)
+                if len(weight_parts) > 1
+                else weight_parts[0]
+            )
+            if len(keys) > 1 and not bool(np.all(keys[:-1] < keys[1:])):
+                order = np.argsort(keys, kind="stable")
+                keys = keys[order]
+                weights = weights[order]
+            self._keys = keys
+            self._weights = weights
+        else:
+            self._keys = np.empty(0, dtype=np.int64)
+            self._weights = np.empty(0, dtype=np.int64)
+        self._n = n
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def lookup(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Stored weights for aligned (u, v) arrays.
+
+        Returns int64 weights with :data:`MISSING_WEIGHT` where the index
+        has no (u, v) edge.  One binary search per element, no Python loop.
+        """
+        if len(u) == 0:
+            return np.empty(0, dtype=np.int64)
+        keys = self._keys
+        if len(keys) == 0:
+            return np.full(len(u), MISSING_WEIGHT, dtype=np.int64)
+        probe = u * self._n + v
+        pos = np.searchsorted(keys, probe)
+        pos_c = np.minimum(pos, len(keys) - 1)
+        found = keys[pos_c] == probe
+        return np.where(found, self._weights[pos_c], MISSING_WEIGHT)
+
+
+def gather_segments(
+    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenated adjacency lists of ``vertices`` with owner tags.
+
+    Returns ``(neighbors, owner, counts)`` where ``neighbors[i]`` is a
+    neighbor of ``vertices[owner[i]]`` and ``counts[j]`` is the degree of
+    ``vertices[j]``.  Pure numpy: O(f + t) for f vertices with t adjacency
+    entries in total.
+    """
+    starts = indptr[vertices].astype(np.int64)
+    counts = (indptr[vertices + 1] - indptr[vertices]).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), counts
+    offsets = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    positions = np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+    owner = np.repeat(np.arange(len(vertices), dtype=np.int64), counts)
+    return indices[positions].astype(np.int64), owner, counts
+
+
+def segment_any(hits: np.ndarray, owner: np.ndarray, num_segments: int) -> np.ndarray:
+    """Per-segment OR-reduction: ``out[j] = any(hits[owner == j])``."""
+    out = np.zeros(num_segments, dtype=bool)
+    if len(hits):
+        out[:] = np.bincount(owner[hits], minlength=num_segments) > 0
+    return out
+
+
+def edge_keys(graph) -> np.ndarray:
+    """The graph's edges flattened to sorted ``u * n + v`` int64 keys.
+
+    Because ``out_indices`` is sorted within each vertex's CSR slice, the
+    flattened keys are globally sorted with no extra sort.  O(n + m) to
+    build — callers answering many edge batches against the same
+    (immutable) graph should build once and pass the result to
+    :func:`has_edge_batch`.
+    """
+    heads = np.repeat(
+        np.arange(graph.n, dtype=np.int64),
+        np.diff(graph.out_indptr).astype(np.int64),
+    )
+    return heads * graph.n + graph.out_indices.astype(np.int64)
+
+
+def has_edge_batch(
+    graph, s: np.ndarray, t: np.ndarray, *, keys: np.ndarray | None = None
+) -> np.ndarray:
+    """Vectorized :meth:`~repro.graph.digraph.DiGraph.has_edge`.
+
+    One binary search over the sorted edge keys per probe.  ``keys`` is
+    the cached result of :func:`edge_keys`; omitted, it is rebuilt here.
+    """
+    if len(s) == 0:
+        return np.zeros(0, dtype=bool)
+    if keys is None:
+        keys = edge_keys(graph)
+    if len(keys) == 0:
+        return np.zeros(len(s), dtype=bool)
+    probe = s * np.int64(graph.n) + t
+    pos = np.searchsorted(keys, probe)
+    pos_c = np.minimum(pos, len(keys) - 1)
+    return keys[pos_c] == probe
+
+
+def case_codes(s_in: np.ndarray, t_in: np.ndarray) -> np.ndarray:
+    """Algorithm-2/3 case numbers (1–4) from aligned cover-flag arrays."""
+    case = np.full(len(s_in), 4, dtype=np.uint8)
+    case[t_in] = 3
+    case[s_in] = 2
+    case[s_in & t_in] = 1
+    return case
+
+
+def plan_cross_products(
+    graph, s: np.ndarray, t: np.ndarray, *, chunk: int = 1 << 21
+) -> tuple[np.ndarray, "Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]"]:
+    """Chunk the per-pair ``outNei(s) × inNei(t)`` cross products.
+
+    Returns ``(big, chunks)``:
+
+    * ``big`` — positions (into ``s``/``t``) of pairs whose *single* cross
+      product exceeds ``chunk`` elements.  Materializing a hub×hub product
+      can dwarf the whole batch, so those pairs are left for the caller's
+      scalar path (which short-circuits and never builds the product).
+    * ``chunks`` — an iterator of ``(sel, u, v, owner)`` blocks covering
+      every other pair with a non-empty product, where ``sel`` are pair
+      positions, ``(u[i], v[i])`` enumerates the products and
+      ``owner[i]`` indexes into ``sel``.  Each block holds at most about
+      ``chunk`` product elements.
+    """
+    out_counts = (graph.out_indptr[s + 1] - graph.out_indptr[s]).astype(np.int64)
+    in_counts = (graph.in_indptr[t + 1] - graph.in_indptr[t]).astype(np.int64)
+    cross = out_counts * in_counts
+    big = np.flatnonzero(cross > chunk)
+    normal = np.flatnonzero((cross > 0) & (cross <= chunk))
+
+    def chunks() -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        sizes = cross[normal]
+        cum = np.cumsum(sizes)
+        start = 0
+        while start < len(normal):
+            base = int(cum[start - 1]) if start else 0
+            stop = int(np.searchsorted(cum, base + chunk, side="left")) + 1
+            stop = min(len(normal), max(stop, start + 1))
+            sel = normal[start:stop]
+            yield (sel, *_cross_block(graph, s[sel], t[sel]))
+            start = stop
+
+    return big, chunks()
+
+
+def _cross_block(
+    graph, s: np.ndarray, t: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Materialize ``outNei(s[j]) × inNei(t[j])`` for every j, flattened.
+
+    Every pair here is known to have a non-empty product.  For pair j with
+    out-degree ``oc[j]`` and in-degree ``ic[j]``, the block lists each
+    out-neighbor ``ic[j]`` times against the cycled in-neighbor list, so
+    ``(u[i], v[i])`` ranges over the full product.
+    """
+    oc = (graph.out_indptr[s + 1] - graph.out_indptr[s]).astype(np.int64)
+    ic = (graph.in_indptr[t + 1] - graph.in_indptr[t]).astype(np.int64)
+    cross = oc * ic
+    total = int(cross.sum())
+    out_flat, _, _ = gather_segments(graph.out_indptr, graph.out_indices, s)
+    u = np.repeat(out_flat, np.repeat(ic, oc))
+    owner = np.repeat(np.arange(len(s), dtype=np.int64), cross)
+    offsets = np.zeros(len(s), dtype=np.int64)
+    np.cumsum(cross[:-1], out=offsets[1:])
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, cross)
+    in_starts = graph.in_indptr[t].astype(np.int64)
+    v = graph.in_indices[
+        np.repeat(in_starts, cross) + within % np.repeat(ic, cross)
+    ].astype(np.int64)
+    return u, v, owner

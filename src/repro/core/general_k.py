@@ -24,6 +24,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import (
+    MISSING_WEIGHT,
+    KeyedRowStore,
+    as_pair_arrays,
+    edge_keys,
+    gather_segments,
+    has_edge_batch,
+    plan_cross_products,
+)
 from repro.core.kreach import KReachIndex
 from repro.core.vertex_cover import cover_from_strategy, is_vertex_cover
 from repro.graph.digraph import DiGraph
@@ -88,6 +97,20 @@ class CoverDistanceOracle:
             if row:
                 self._rows[u] = row
                 self._max_distance = max(self._max_distance, max(row.values()))
+        self._keyed_rows: KeyedRowStore | None = None
+
+    def _keyed(self) -> KeyedRowStore:
+        """Sorted-key view of the distance rows for bulk gathers."""
+        if self._keyed_rows is None:
+            self._keyed_rows = KeyedRowStore(self._rows, self.graph.n)
+        return self._keyed_rows
+
+    def prepare_batch(self) -> "CoverDistanceOracle":
+        """Build the batch engine's lookup structures now (see
+        :meth:`KReachIndex.prepare_batch
+        <repro.core.kreach.KReachIndex.prepare_batch>`)."""
+        self._keyed()
+        return self
 
     def _pair_distance(self, u: int, v: int) -> float:
         if u == v:
@@ -126,15 +149,93 @@ class CoverDistanceOracle:
                 best = min(best, self._pair_distance(u, v) + 2)
         return best
 
+    def distance_batch(self, pairs) -> np.ndarray:
+        """Vectorized :meth:`distance`: an ``(m,)`` float64 array.
+
+        Entries are exact shortest-path distances, with
+        :data:`INFINITE_DISTANCE` for unreachable pairs.  Same case split
+        as the scalar path, but the per-case minimizations run as bulk
+        sorted-key gathers plus segmented ``minimum`` reductions; only
+        hub×hub Case-4 pairs whose neighbor cross product would dominate
+        memory fall back to the scalar loop.
+        """
+        g = self.graph
+        s, t = as_pair_arrays(pairs, g.n)
+        m = len(s)
+        if m == 0:
+            return np.empty(0, dtype=np.float64)
+        dist = np.full(m, MISSING_WEIGHT, dtype=np.int64)
+        dist[s == t] = 0
+        store = self._keyed()
+        s_in = self._in_cover[s]
+        t_in = self._in_cover[t]
+        undecided = s != t
+
+        # Case 1: direct cover-pair distance.
+        sel = np.flatnonzero(undecided & s_in & t_in)
+        if len(sel):
+            dist[sel] = store.lookup(s[sel], t[sel])
+
+        # Case 2: min over in-neighbors v of t of d(s, v) + 1 (d(s, s) = 0).
+        sel = np.flatnonzero(undecided & s_in & ~t_in)
+        if len(sel):
+            nbrs, owner, _ = gather_segments(g.in_indptr, g.in_indices, t[sel])
+            src = s[sel][owner]
+            cand = np.where(nbrs == src, 0, store.lookup(src, nbrs)) + 1
+            best = np.full(len(sel), MISSING_WEIGHT, dtype=np.int64)
+            np.minimum.at(best, owner, cand)
+            dist[sel] = best
+
+        # Case 3: min over out-neighbors u of s of d(u, t) + 1.
+        sel = np.flatnonzero(undecided & ~s_in & t_in)
+        if len(sel):
+            nbrs, owner, _ = gather_segments(g.out_indptr, g.out_indices, s[sel])
+            dst = t[sel][owner]
+            cand = np.where(nbrs == dst, 0, store.lookup(nbrs, dst)) + 1
+            best = np.full(len(sel), MISSING_WEIGHT, dtype=np.int64)
+            np.minimum.at(best, owner, cand)
+            dist[sel] = best
+
+        # Case 4: min over outNei(s) × inNei(t) of d(u, v) + 2.
+        sel = np.flatnonzero(undecided & ~s_in & ~t_in)
+        if len(sel):
+            s4, t4 = s[sel], t[sel]
+            best = np.full(len(sel), MISSING_WEIGHT, dtype=np.int64)
+            big, chunks = plan_cross_products(g, s4, t4)
+            for sub, u, v, owner in chunks:
+                cand = np.where(u == v, 0, store.lookup(u, v)) + 2
+                cur = np.full(len(sub), MISSING_WEIGHT, dtype=np.int64)
+                np.minimum.at(cur, owner, cand)
+                best[sub] = np.minimum(best[sub], cur)
+            for j in big.tolist():
+                d = self.distance(int(s4[j]), int(t4[j]))
+                if d != INFINITE_DISTANCE:
+                    best[j] = int(d)
+            dist[sel] = best
+
+        out = dist.astype(np.float64)
+        out[dist >= MISSING_WEIGHT] = INFINITE_DISTANCE
+        return out
+
     def reaches_within(self, s: int, t: int, k: int) -> bool:
         """Exact ``s →k t`` for any non-negative k."""
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
         return self.distance(s, t) <= k
 
+    def reaches_within_batch(self, pairs, k: int) -> np.ndarray:
+        """Vectorized :meth:`reaches_within`: an ``(m,)`` bool array."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return self.distance_batch(pairs) <= k
+
     def reaches(self, s: int, t: int) -> bool:
         """Classic reachability."""
         return self.distance(s, t) < INFINITE_DISTANCE
+
+    def reaches_batch(self, pairs) -> np.ndarray:
+        """Vectorized :meth:`reaches`: an ``(m,)`` bool array."""
+        return self.distance_batch(pairs) < INFINITE_DISTANCE
 
     @property
     def cover_size(self) -> int:
@@ -242,6 +343,13 @@ class GeometricKReachFamily:
             )
             k *= 2
         self.levels = sorted(self.indexes)
+        self._edge_keys: np.ndarray | None = None
+
+    def _edges(self) -> np.ndarray:
+        """Sorted edge keys for the batch k=1 path, built once."""
+        if self._edge_keys is None:
+            self._edge_keys = edge_keys(self.graph)
+        return self._edge_keys
 
     def query(self, s: int, t: int, k: int, *, refine: bool = False) -> KHopAnswer:
         """Answer ``s →k t`` with the paper's approximation semantics.
@@ -287,6 +395,26 @@ class GeometricKReachFamily:
         """Boolean view of :meth:`query` (approximate answers count as True)."""
         return self.query(s, t, k).reachable
 
+    def reaches_within_batch(self, pairs, k: int) -> np.ndarray:
+        """Vectorized :meth:`reaches_within`: an ``(m,)`` bool array.
+
+        Same verdicts as the scalar path (``refine=False`` semantics):
+        ``k >= 2`` delegates to the ``2^⌈lg k⌉`` member's
+        :meth:`~repro.core.kreach.KReachIndex.query_batch`; ``k <= 1``
+        resolves with a vectorized identity/edge test.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        s, t = as_pair_arrays(pairs, self.graph.n)
+        if len(s) == 0:
+            return np.zeros(0, dtype=bool)
+        if k == 0:
+            return s == t
+        if k == 1:
+            return (s == t) | has_edge_batch(self.graph, s, t, keys=self._edges())
+        level = min(1 << (k - 1).bit_length(), self.max_k)
+        return self.indexes[level].query_batch(np.stack([s, t], axis=1))
+
     def storage_bytes(self) -> int:
         """Total modeled size across the family."""
         return sum(ix.storage_bytes() for ix in self.indexes.values())
@@ -324,6 +452,13 @@ class ExactKFamily:
             k: KReachIndex(graph, k, cover=cover) for k in range(2, self.diameter + 1)
         }
         self.reachability = KReachIndex(graph, None, cover=cover)
+        self._edge_keys: np.ndarray | None = None
+
+    def _edges(self) -> np.ndarray:
+        """Sorted edge keys for the batch k=1 path, built once."""
+        if self._edge_keys is None:
+            self._edge_keys = edge_keys(self.graph)
+        return self._edge_keys
 
     def reaches_within(self, s: int, t: int, k: int) -> bool:
         """Exact ``s →k t`` for any non-negative k."""
@@ -338,6 +473,20 @@ class ExactKFamily:
         if k >= self.diameter:
             return self.reachability.query(s, t)
         return self.indexes[k].query(s, t)
+
+    def reaches_within_batch(self, pairs, k: int) -> np.ndarray:
+        """Vectorized :meth:`reaches_within`: an ``(m,)`` bool array."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        s, t = as_pair_arrays(pairs, self.graph.n)
+        if len(s) == 0:
+            return np.zeros(0, dtype=bool)
+        if k == 0:
+            return s == t
+        if k == 1:
+            return (s == t) | has_edge_batch(self.graph, s, t, keys=self._edges())
+        member = self.reachability if k >= self.diameter else self.indexes[k]
+        return member.query_batch(np.stack([s, t], axis=1))
 
     def storage_bytes(self) -> int:
         """Total modeled size across all members."""

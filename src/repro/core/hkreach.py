@@ -47,6 +47,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bitsets.packed import PackedIntArray, bits_needed
+from repro.core.batch import (
+    UNBOUNDED_BUDGET,
+    KeyedRowStore,
+    as_pair_arrays,
+    case_codes,
+)
 from repro.core.vertex_cover import hhop_vertex_cover, is_hhop_vertex_cover
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import (
@@ -61,6 +67,12 @@ from repro.graph.traversal import (
 __all__ = ["HKReachIndex"]
 
 _SCALAR_BFS_MAX_K = 3
+
+# Cap on the per-batch level-expansion memo (entries).  Random 1M-pair
+# workloads have mostly distinct endpoints; without a bound the memo
+# would retain every expanded ball for the life of the batch, which on
+# hub-heavy graphs is multi-GB where the scalar loop needs O(1).
+_LEVEL_MEMO_CAP = 65_536
 
 
 class HKReachIndex:
@@ -140,6 +152,7 @@ class HKReachIndex:
             self._in_cover[list(cover)] = True
         self._rows: dict[int, dict[int, int]] = {}
         self._build()
+        self._keyed_rows: KeyedRowStore | None = None
 
     # ------------------------------------------------------------------
     # Construction (Algorithm 1 with Definition-2 weights)
@@ -210,22 +223,47 @@ class HKReachIndex:
         assert self.k is not None
         return max(1, self.k - 2 * self.h)
 
-    def _levels(self, v: int, limit: int, direction: str) -> list[list[int]]:
-        """BFS levels 1..limit around ``v`` (level 0 = {v} omitted)."""
+    def _levels(
+        self,
+        v: int,
+        limit: int,
+        direction: str,
+        memo: dict | None = None,
+    ) -> list[list[int]]:
+        """BFS levels 1..limit around ``v`` (level 0 = {v} omitted).
+
+        ``memo`` (used by :meth:`query_batch`) caches expansions across a
+        batch: random workloads repeat endpoints, and celebrity workloads
+        repeat them heavily, so the per-vertex balls amortize.  The memo
+        stops growing at :data:`_LEVEL_MEMO_CAP` entries so a huge batch
+        of distinct endpoints cannot hold every ball in memory at once.
+        """
         if limit <= 0:
             return []
+        if memo is not None:
+            key = (v, limit, direction)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
         ball = bounded_neighborhood(self.graph, v, limit, direction=direction)
         levels: list[list[int]] = [[] for _ in range(limit)]
         for u, d in ball.items():
             if d >= 1:
                 levels[d - 1].append(u)
+        if memo is not None and len(memo) < _LEVEL_MEMO_CAP:
+            memo[key] = levels
         return levels
 
     def query(self, s: int, t: int) -> bool:
         """Whether ``s →k t`` (``s → t`` when ``k`` is None)."""
-        g, k, h = self.graph, self.k, self.h
+        g = self.graph
         if not 0 <= s < g.n or not 0 <= t < g.n:
             raise ValueError(f"query vertex out of range [0, {g.n})")
+        return self._query_impl(s, t, None)
+
+    def _query_impl(self, s: int, t: int, memo: dict | None) -> bool:
+        """Algorithm 3 for one validated pair (``memo``: see :meth:`_levels`)."""
+        g, k, h = self.graph, self.k, self.h
         if s == t:
             return True
         if k == 0:
@@ -255,14 +293,14 @@ class HKReachIndex:
             else:
                 link_limit = min(h, k - self._min_link_weight())
             if s_in:
-                levels = self._levels(t, link_limit, "in")
+                levels = self._levels(t, link_limit, "in", memo)
                 for i, level in enumerate(levels, start=1):
                     budget = None if k is None else k - i
                     for v in level:
                         if in_cover[v] and self._link_within(s, v, budget):
                             return True
             else:
-                levels = self._levels(s, link_limit, "out")
+                levels = self._levels(s, link_limit, "out", memo)
                 for i, level in enumerate(levels, start=1):
                     budget = None if k is None else k - i
                     for u in level:
@@ -286,8 +324,8 @@ class HKReachIndex:
             side_limit = min(h, k - 1 - self._min_link_weight())
         if side_limit <= 0:
             return False
-        fwd_levels = self._levels(s, side_limit, "out")
-        back_levels = self._levels(t, side_limit, "in")
+        fwd_levels = self._levels(s, side_limit, "out", memo)
+        back_levels = self._levels(t, side_limit, "in", memo)
         fwd_cover = [
             (u, i)
             for i, level in enumerate(fwd_levels, start=1)
@@ -317,6 +355,69 @@ class HKReachIndex:
     def reaches(self, s: int, t: int) -> bool:
         """Classic-reachability alias (meaningful for ``k=None``)."""
         return self.query(s, t)
+
+    # ------------------------------------------------------------------
+    # Batch query processing
+    # ------------------------------------------------------------------
+    def _keyed(self) -> KeyedRowStore:
+        """Sorted-key view of the row store for bulk Case-1 gathers."""
+        if self._keyed_rows is None:
+            self._keyed_rows = KeyedRowStore(self._rows, self.graph.n)
+        return self._keyed_rows
+
+    def prepare_batch(self) -> "HKReachIndex":
+        """Build the batch engine's lookup structures now (see
+        :meth:`KReachIndex.prepare_batch
+        <repro.core.kreach.KReachIndex.prepare_batch>`)."""
+        self._keyed()
+        return self
+
+    def query_batch(self, pairs) -> np.ndarray:
+        """Vectorized :meth:`query` over a batch of (s, t) pairs.
+
+        Same contract as :meth:`KReachIndex.query_batch
+        <repro.core.kreach.KReachIndex.query_batch>`: ``(m, 2)`` integer
+        array-like in, ``(m,)`` bool array out, bit-identical to the
+        scalar path, ``(0,)`` for empty input, :class:`ValueError` for
+        out-of-range ids.
+
+        Algorithm 3's case split is vectorized over the cover flags and
+        Case 1 resolves through one bulk sorted-key gather.  Cases 2–4
+        keep the scalar expansion walk (its contact tests and
+        budget-capped level expansions are inherently early-exiting) but
+        share a per-batch memo of level expansions, which pays off
+        whenever endpoints repeat across the workload.
+        """
+        g, k = self.graph, self.k
+        s, t = as_pair_arrays(pairs, g.n)
+        m = len(s)
+        out = np.zeros(m, dtype=bool)
+        if m == 0:
+            return out
+        np.equal(s, t, out=out)
+        if k == 0:
+            return out
+        s_in = self._in_cover[s]
+        t_in = self._in_cover[t]
+        undecided = ~out  # s != t
+
+        # Case 1: one bulk weight gather.
+        sel = np.flatnonzero(undecided & s_in & t_in)
+        if len(sel):
+            bk = UNBOUNDED_BUDGET if k is None else np.int64(k)
+            out[sel] = self._keyed().lookup(s[sel], t[sel]) <= bk
+
+        # Cases 2-4: scalar Algorithm-3 walk with shared level memo.
+        memo: dict = {}
+        sel = np.flatnonzero(undecided & ~(s_in & t_in))
+        for j in sel.tolist():
+            out[j] = self._query_impl(int(s[j]), int(t[j]), memo)
+        return out
+
+    def query_case_batch(self, pairs) -> np.ndarray:
+        """Vectorized :meth:`query_case`: an ``(m,)`` uint8 array of 1–4."""
+        s, t = as_pair_arrays(pairs, self.graph.n)
+        return case_codes(self._in_cover[s], self._in_cover[t])
 
     def query_case(self, s: int, t: int) -> int:
         """Which of Algorithm 3's four cases the query (s, t) falls into."""

@@ -84,6 +84,24 @@ class CompressedRow:
         for v, _ in self.items():
             yield v
 
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The row as parallel ``(targets, weights)`` int64 arrays.
+
+        Vectorized per-level bitmap decode — this is how the batch query
+        engine (:mod:`repro.core.batch`) bulk-loads compressed hub rows
+        into its keyed lookup structure without a Python-level loop over
+        the row's entries.
+        """
+        targets: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for weight, bitmap in self._levels:
+            hit = np.flatnonzero(bitmap.decompress()).astype(np.int64)
+            targets.append(hit)
+            weights.append(np.full(len(hit), weight, dtype=np.int64))
+        if not targets:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return np.concatenate(targets), np.concatenate(weights)
+
     def weight_levels(self) -> list[int]:
         """The distinct weights present (≤ 3 for a fixed-k index)."""
         return [w for w, _ in self._levels]

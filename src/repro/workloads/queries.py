@@ -86,15 +86,28 @@ def positive_pairs(
     out: list[tuple[int, int]] = []
     attempts = 0
     max_attempts = max_attempts_factor * max(1, count)
+    # Sources whose (k-bounded) ball is empty, memoized so rejection
+    # sampling never re-BFSes the same dead vertex: on sparse graphs the
+    # same sink-like sources are redrawn over and over, and without the
+    # memo each redraw pays a BFS until the attempt budget blows up.
+    dead: set[int] = set()
     while len(out) < count:
+        if len(dead) == g.n:
+            raise RuntimeError(
+                f"could not sample {count} positive pairs: every source has "
+                f"an empty {'reachability' if k is None else f'{k}-hop'} ball"
+            )
         attempts += 1
         if attempts > max_attempts:
             raise RuntimeError(
                 f"could not sample {count} positive pairs in {max_attempts} attempts"
             )
         s = int(rng.integers(0, g.n))
+        if s in dead:
+            continue
         ball = [v for v in bfs_distances_scalar(g, s, k=k) if v != s]
         if not ball:
+            dead.add(s)
             continue
         t = ball[int(rng.integers(0, len(ball)))]
         out.append((s, t))
@@ -104,12 +117,19 @@ def positive_pairs(
 def case_distribution(index, pairs: np.ndarray) -> dict[int, float]:
     """Fraction of ``pairs`` per Algorithm-2/3 case (the paper's Table 8).
 
-    ``index`` must expose ``query_case(s, t) -> int`` (both
-    :class:`~repro.core.kreach.KReachIndex` and
-    :class:`~repro.core.hkreach.HKReachIndex` do).
+    Routed through the index's vectorized ``query_case_batch`` when it has
+    one (both :class:`~repro.core.kreach.KReachIndex` and
+    :class:`~repro.core.hkreach.HKReachIndex` do); otherwise falls back to
+    the scalar ``query_case(s, t) -> int`` loop.
     """
-    counts = {1: 0, 2: 0, 3: 0, 4: 0}
-    for s, t in pairs:
-        counts[index.query_case(int(s), int(t))] += 1
+    query_case_batch = getattr(index, "query_case_batch", None)
+    if query_case_batch is not None:
+        cases = np.asarray(query_case_batch(pairs))
+        tallies = np.bincount(cases, minlength=5)
+        counts = {case: int(tallies[case]) for case in (1, 2, 3, 4)}
+    else:
+        counts = {1: 0, 2: 0, 3: 0, 4: 0}
+        for s, t in pairs:
+            counts[index.query_case(int(s), int(t))] += 1
     total = max(1, len(pairs))
     return {case: counts[case] / total for case in counts}

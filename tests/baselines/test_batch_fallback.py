@@ -1,0 +1,102 @@
+"""Equivalence tests for every baseline's batch-API fallback.
+
+The shared :class:`~repro.baselines.base.ReachabilityIndex` protocol gives
+every comparator ``reaches_batch`` / ``reaches_within_batch`` via a
+generic scalar loop; these tests pin the fallback to the scalar methods on
+every index family the benchmark harness drives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BfsIndex,
+    BidirectionalBfsIndex,
+    ChainCoverIndex,
+    GrailIndex,
+    PathTreeIndex,
+    PrunedLandmarkIndex,
+    PwahIndex,
+    TransitiveClosureIndex,
+    UnsupportedQueryError,
+)
+from repro.graph.generators import gnp_digraph, random_dag
+
+BASELINES = [
+    BfsIndex,
+    BidirectionalBfsIndex,
+    ChainCoverIndex,
+    GrailIndex,
+    PathTreeIndex,
+    PrunedLandmarkIndex,
+    PwahIndex,
+    TransitiveClosureIndex,
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_digraph(30, 0.07, seed=41)
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return np.array(
+        [(s, t) for s in range(graph.n) for t in range(graph.n)], dtype=np.int64
+    )
+
+
+def _build(cls, g):
+    if cls is GrailIndex:
+        return cls(g, num_labels=2, seed=1)
+    return cls(g)
+
+
+@pytest.mark.parametrize("cls", BASELINES)
+def test_reaches_batch_equals_scalar(cls, graph, pairs):
+    index = _build(cls, graph)
+    batch = index.reaches_batch(pairs)
+    assert batch.dtype == bool and batch.shape == (len(pairs),)
+    for i, (s, t) in enumerate(pairs):
+        assert batch[i] == index.reaches(int(s), int(t)), (cls.name, s, t)
+
+
+@pytest.mark.parametrize("cls", BASELINES)
+def test_reaches_within_batch_matches_scalar_support(cls, graph, pairs):
+    """k-hop batch answers equal scalar ones; classic-only families raise
+    the same UnsupportedQueryError either way."""
+    index = _build(cls, graph)
+    k = 3
+    try:
+        scalar_probe = index.reaches_within(0, 1, k)
+    except UnsupportedQueryError:
+        with pytest.raises(UnsupportedQueryError):
+            index.reaches_within_batch(pairs, k)
+        return
+    batch = index.reaches_within_batch(pairs, k)
+    assert batch[1] == scalar_probe  # pair (0, 1) sits at position 1
+    for i, (s, t) in enumerate(pairs):
+        assert batch[i] == index.reaches_within(int(s), int(t), k), (cls.name, s, t)
+
+
+def test_batch_fallback_on_dag(pairs):
+    """Second graph shape: the tree-cover/chain-cover families are
+    DAG-oriented, so exercise them on one."""
+    g = random_dag(25, 60, seed=42)
+    dag_pairs = np.array(
+        [(s, t) for s in range(g.n) for t in range(g.n)], dtype=np.int64
+    )
+    for cls in (PathTreeIndex, ChainCoverIndex, PwahIndex):
+        index = _build(cls, g)
+        batch = index.reaches_batch(dag_pairs)
+        for i, (s, t) in enumerate(dag_pairs):
+            assert batch[i] == index.reaches(int(s), int(t)), (cls.name, s, t)
+
+
+def test_empty_and_validation():
+    g = gnp_digraph(10, 0.1, seed=43)
+    index = BfsIndex(g)
+    assert index.reaches_batch([]).shape == (0,)
+    assert index.reaches_within_batch([], 2).shape == (0,)
+    with pytest.raises(ValueError):
+        index.reaches_batch([(0, 10)])

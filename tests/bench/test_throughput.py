@@ -1,0 +1,50 @@
+"""Throughput guard: the batch engine must actually be vectorized.
+
+The smoke test the issue asks for — on a mid-size synthetic graph,
+``query_batch`` over 10k pairs must beat the scalar loop *and* return
+identical answers.  A silent de-vectorization (say, a future edit turning
+the hot path back into a per-pair Python loop) shows up here as a timing
+inversion long before anyone reruns the full benchmarks.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import SuiteConfig, run_throughput
+from repro.bench.runner import time_batch_queries, time_queries
+from repro.core.kreach import KReachIndex
+from repro.graph.generators import gnp_digraph
+from repro.workloads import random_pairs
+
+
+def test_batch_beats_scalar_loop_with_identical_answers():
+    g = gnp_digraph(1500, 0.003, seed=9)  # mid-size: ~6.7k edges
+    idx = KReachIndex(g, 3).prepare_batch()
+    pairs = random_pairs(g.n, 10_000, rng=np.random.default_rng(9))
+
+    scalar_answers = np.fromiter(
+        (idx.query(int(s), int(t)) for s, t in pairs), dtype=bool, count=len(pairs)
+    )
+    batch_answers = idx.query_batch(pairs)
+    assert np.array_equal(batch_answers, scalar_answers)
+
+    # Best-of-two on both sides damps scheduler noise; a de-vectorized
+    # batch path (scalar loop + array overhead) still loses every run.
+    by_time = lambda timing: timing.seconds  # noqa: E731
+    scalar = min((time_queries(idx.query, pairs) for _ in range(2)), key=by_time)
+    batch = min(
+        (time_batch_queries(idx.query_batch, pairs) for _ in range(2)), key=by_time
+    )
+    assert batch.positives == scalar.positives
+    assert batch.seconds < scalar.seconds, (
+        f"batch engine ({batch.seconds:.4f}s) no faster than the scalar "
+        f"loop ({scalar.seconds:.4f}s) on 10k pairs — hot path de-vectorized?"
+    )
+
+
+def test_run_throughput_agrees():
+    config = SuiteConfig(datasets=("GO",), scale=0.05, queries=500, seed=3)
+    table = run_throughput(config)
+    assert len(table.rows) == 3  # k = 2, 6, n
+    for row in table.rows:
+        assert row["agree"] == "yes"
+        assert row["dataset"] == "GO"

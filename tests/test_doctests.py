@@ -12,6 +12,7 @@ import repro.baselines.pll
 import repro.baselines.pwah
 import repro.baselines.transitive_closure
 import repro.bench.report
+import repro.core.batch
 import repro.bitsets.bitset
 import repro.bitsets.packed
 import repro.bitsets.wah
@@ -28,6 +29,7 @@ MODULES = [
     repro.bitsets.wah,
     repro.bitsets.packed,
     repro.core.kreach,
+    repro.core.batch,
     repro.core.hkreach,
     repro.core.rowstore,
     repro.baselines.transitive_closure,

@@ -72,6 +72,32 @@ class TestPositivePairs:
         with pytest.raises(RuntimeError, match="positive pairs"):
             positive_pairs(g, 5, max_attempts_factor=3)
 
+    def test_dead_sources_bfs_once(self, monkeypatch):
+        """Rejection sampling memoizes empty-ball sources: each dead
+        vertex pays at most one BFS no matter how often it is redrawn."""
+        import repro.workloads.queries as queries
+
+        g = DiGraph(21, [(0, 1)])  # one live source, twenty dead ones
+        calls: list[int] = []
+        real = queries.bfs_distances_scalar
+
+        def counting(graph, s, **kwargs):
+            calls.append(s)
+            return real(graph, s, **kwargs)
+
+        monkeypatch.setattr(queries, "bfs_distances_scalar", counting)
+        pairs = positive_pairs(g, 10, rng=np.random.default_rng(6))
+        assert all((int(s), int(t)) == (0, 1) for s, t in pairs)
+        dead_calls = [s for s in calls if s != 0]
+        assert len(dead_calls) == len(set(dead_calls))
+
+    def test_all_dead_fails_fast(self):
+        """A graph whose every ball is empty raises as soon as all
+        sources are known dead, instead of burning the attempt budget."""
+        g = DiGraph(4)
+        with pytest.raises(RuntimeError, match="positive pairs"):
+            positive_pairs(g, 3, max_attempts_factor=10_000)
+
 
 class TestCaseDistribution:
     def test_sums_to_one(self):
