@@ -33,6 +33,7 @@ from repro.bench.runner import (
     build_index,
     time_batch_queries,
     time_queries,
+    timed,
 )
 from repro.core import (
     CoverDistanceOracle,
@@ -40,6 +41,7 @@ from repro.core import (
     GeometricKReachFamily,
     HKReachIndex,
     KReachIndex,
+    build_kreach_parallel,
     greedy_vertex_cover,
     hhop_vertex_cover,
     vertex_cover_2approx,
@@ -50,6 +52,7 @@ from repro.workloads import case_distribution, celebrity_pairs, random_pairs
 
 __all__ = [
     "SuiteConfig",
+    "run_build",
     "run_table2",
     "run_table3_4_5",
     "run_table6",
@@ -80,6 +83,7 @@ class SuiteConfig:
     queries: int = 20_000
     bfs_queries: int = 1_000  # µ-BFS is orders slower; subsample and scale
     seed: int = 7
+    workers: int = 1  # >1 routes k-reach construction through the pool
     _cache: dict = field(default_factory=dict, repr=False)
 
     def graph(self, name: str):
@@ -116,7 +120,11 @@ class SuiteConfig:
             g = self.graph(name)
             chain_budget = _CHAIN_COVER_BUDGET_PER_VERTEX * g.n
             factories = {
-                "n-reach": lambda: KReachIndex(g, None),
+                "n-reach": (
+                    (lambda: build_kreach_parallel(g, None, workers=self.workers))
+                    if self.workers > 1
+                    else (lambda: KReachIndex(g, None))
+                ),
                 "PTree": lambda: PathTreeIndex(g),
                 "3-hop": lambda: ChainCoverIndex(g, max_label_entries=chain_budget),
                 "GRAIL": lambda: GrailIndex(g, num_labels=3, seed=self.seed),
@@ -377,6 +385,82 @@ def run_table9(config: SuiteConfig) -> Table:
     return table
 
 
+def run_build(config: SuiteConfig) -> Table:
+    """Construction throughput: blocked MS-BFS vs the per-source build.
+
+    Not a paper table — this serves the ROADMAP's build-time goal.  Every
+    cell constructs the same ``(graph, k, cover)`` index three ways: the
+    pre-refactor per-source serial sweep (``builder='serial'``), the
+    bit-parallel blocked multi-source BFS (``builder='blocked'``, the
+    default), and the process-parallel blocked build.  "agree" asserts
+    the three :class:`~repro.core.index_graph.IndexGraph` contents are
+    bit-identical, so the benchmark doubles as a live differential check;
+    "speedup" is serial/blocked, the number the CI smoke job gates on.
+    """
+    workers = config.workers if config.workers > 1 else 2
+    table = Table(
+        f"Build — construction throughput (scale={config.scale}, "
+        f"parallel workers={workers})",
+        ["dataset", "k", "|S|", "|E_I|", "serial ms", "blocked ms",
+         "parallel ms", "speedup", "agree"],
+        caption=(
+            "serial = per-source BFS (pre-refactor Algorithm 1); blocked = "
+            "64-source bit-parallel MS-BFS; speedup = serial/blocked. "
+            "agree = all three builders produce identical IndexGraphs."
+        ),
+    )
+    total_serial = 0.0
+    total_blocked = 0.0
+    total_parallel = 0.0
+    all_agree = True
+    for name in config.datasets:
+        g = config.graph(name)
+        cover = vertex_cover_2approx(g)
+        for k in (2, 6, None):
+            serial, serial_s = timed_build(g, k, cover, "serial")
+            blocked, blocked_s = timed_build(g, k, cover, "blocked")
+            parallel, parallel_s = timed(
+                lambda: build_kreach_parallel(g, k, cover=cover, workers=workers)
+            )
+            agree = (
+                serial.index_graph == blocked.index_graph
+                and blocked.index_graph == parallel.index_graph
+            )
+            all_agree &= agree
+            total_serial += serial_s
+            total_blocked += blocked_s
+            total_parallel += parallel_s
+            table.add_row(
+                {
+                    "dataset": name,
+                    "k": "n" if k is None else k,
+                    "|S|": len(cover),
+                    "|E_I|": blocked.edge_count,
+                    "serial ms": 1e3 * serial_s,
+                    "blocked ms": 1e3 * blocked_s,
+                    "parallel ms": 1e3 * parallel_s,
+                    "speedup": f"{serial_s / max(blocked_s, 1e-9):.1f}x",
+                    "agree": "yes" if agree else "NO",
+                }
+            )
+    table.add_row(
+        {
+            "dataset": "TOTAL",
+            "serial ms": 1e3 * total_serial,
+            "blocked ms": 1e3 * total_blocked,
+            "parallel ms": 1e3 * total_parallel,
+            "speedup": f"{total_serial / max(total_blocked, 1e-9):.1f}x",
+            "agree": "yes" if all_agree else "NO",
+        }
+    )
+    return table
+
+
+def timed_build(g, k, cover, builder: str):
+    """Build one index with the named builder, returning (index, seconds)."""
+    return timed(lambda: KReachIndex(g, k, cover=cover, builder=builder))
+
+
 def run_throughput(config: SuiteConfig) -> Table:
     """Bulk-query throughput: the vectorized batch engine vs the scalar loop.
 
@@ -592,6 +676,7 @@ def run_ablation_compression(config: SuiteConfig) -> Table:
 
 #: CLI name -> callable; each returns a Table or tuple of Tables.
 ALL_EXPERIMENTS = {
+    "build": run_build,
     "table2": run_table2,
     "table3-4-5": run_table3_4_5,
     "table6": run_table6,

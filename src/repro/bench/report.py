@@ -120,3 +120,28 @@ class Table:
     def column_values(self, col: str) -> list[object]:
         """All values of one column (None for missing)."""
         return [row.get(col) for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dict: title, columns, caption, and plain rows.
+
+        Cell values are coerced to JSON-native types (numpy scalars via
+        ``.item()``, everything else through ``str``) so the CLI's
+        ``--json`` output round-trips without a custom encoder.
+        """
+
+        def plain(value: object) -> object:
+            if value is None or isinstance(value, (bool, int, float, str)):
+                return value
+            if hasattr(value, "item"):  # numpy scalar
+                return value.item()
+            return str(value)
+
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "caption": self.caption,
+            "rows": [
+                {col: plain(row.get(col)) for col in self.columns}
+                for row in self.rows
+            ],
+        }

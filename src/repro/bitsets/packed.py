@@ -53,11 +53,71 @@ class PackedIntArray:
 
     @classmethod
     def from_values(cls, values: "list[int] | np.ndarray", *, bits: int) -> "PackedIntArray":
-        """Pack an existing sequence."""
+        """Pack an existing sequence (vectorized; see :meth:`from_numpy`)."""
+        return cls.from_numpy(np.asarray(values, dtype=np.int64), bits=bits)
+
+    @classmethod
+    def from_numpy(cls, values: np.ndarray, *, bits: int) -> "PackedIntArray":
+        """Pack a numpy integer array without a Python-level loop.
+
+        The little-endian bit stream is assembled with ``np.packbits``, so
+        packing |E_I|-sized weight arrays during index construction costs
+        a handful of vectorized passes instead of one ``__setitem__`` per
+        entry.
+
+        >>> PackedIntArray.from_numpy(np.array([3, 0, 1]), bits=2).to_list()
+        [3, 0, 1]
+        """
+        values = np.asarray(values, dtype=np.int64)
         arr = cls(len(values), bits=bits)
-        for i, v in enumerate(values):
-            arr[i] = int(v)
+        if len(values) == 0:
+            return arr
+        if int(values.min()) < 0 or int(values.max()) > arr._mask:
+            raise ValueError(f"values do not fit in {bits} bits")
+        stream = (
+            (values[:, None] >> np.arange(bits, dtype=np.int64)) & 1
+        ).astype(np.uint8)
+        packed = np.packbits(stream.reshape(-1), bitorder="little")
+        buf = np.zeros(arr._words.nbytes, dtype=np.uint8)
+        buf[: len(packed)] = packed
+        arr._words = buf.view(np.uint64)
         return arr
+
+    @classmethod
+    def from_words(
+        cls, words: np.ndarray, length: int, *, bits: int
+    ) -> "PackedIntArray":
+        """Rebuild from a raw word array (the on-disk form; see :attr:`words`)."""
+        arr = cls(length, bits=bits)
+        words = np.asarray(words, dtype=np.uint64)
+        if len(words) > len(arr._words):
+            raise ValueError(
+                f"{len(words)} words exceed the {len(arr._words)} needed "
+                f"for {length} {bits}-bit entries"
+            )
+        arr._words[: len(words)] = words
+        return arr
+
+    @property
+    def words(self) -> np.ndarray:
+        """The backing uint64 word array (including the spare padding word)."""
+        return self._words
+
+    def as_numpy(self) -> np.ndarray:
+        """Unpack every entry into an int64 array (vectorized).
+
+        The inverse of :meth:`from_numpy`; one ``np.unpackbits`` pass plus
+        a matmul against the bit weights, no Python loop.
+        """
+        if self.length == 0:
+            return np.empty(0, dtype=np.int64)
+        stream = np.unpackbits(
+            self._words.view(np.uint8),
+            count=self.length * self.bits,
+            bitorder="little",
+        )
+        bit_matrix = stream.reshape(self.length, self.bits).astype(np.int64)
+        return bit_matrix @ (np.int64(1) << np.arange(self.bits, dtype=np.int64))
 
     def _locate(self, i: int) -> tuple[int, int]:
         if not 0 <= i < self.length:

@@ -3,22 +3,28 @@
 Usage::
 
     python -m repro.cli table2 --scale 0.2
-    python -m repro.cli table3-4-5 --scale 1.0 --queries 100000
+    python -m repro.cli table3-4-5 --scale 1.0 --queries 100000 --workers 4
     python -m repro.cli throughput --scale 0.2 --queries 100000
+    python -m repro.cli build --scale 0.2 --json build.json
     python -m repro.cli all --scale 0.2 --output results.txt
     kreach-bench table8            # installed console script
 
 Query-timing experiments (Tables 5/7 and ``throughput``) run through the
 vectorized batch engine; ``throughput`` additionally reports the batch
-engine's speedup over the scalar per-pair loop.
+engine's speedup over the scalar per-pair loop, and ``build`` compares
+the blocked MS-BFS construction path against the per-source serial build.
 
 Every experiment accepts ``--scale`` (1.0 = paper-sized graphs),
-``--queries``, ``--datasets`` (comma-separated subset) and ``--seed``.
+``--queries``, ``--datasets`` (comma-separated subset), ``--seed``, and
+``--workers`` (process pool for construction).  ``--json PATH``
+additionally writes the results as machine-readable JSON so perf
+trajectories (e.g. ``BENCH_*.json``) can be tracked across PRs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -66,10 +72,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=7, help="workload seed")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool size for index construction; >1 routes k-reach "
+            "builds (Table 3 and the 'build' experiment's parallel column) "
+            "through build_kreach_parallel (default 1 = in-process)"
+        ),
+    )
+    parser.add_argument(
         "--markdown", action="store_true", help="emit markdown instead of ASCII"
     )
     parser.add_argument(
         "--output", type=str, default=None, help="append output to this file"
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write results as machine-readable JSON (experiment name, "
+            "config, tables, elapsed seconds) — for perf-trajectory tracking"
+        ),
     )
     return parser
 
@@ -99,14 +125,40 @@ def main(argv: list[str] | None = None) -> int:
         queries=args.queries,
         bfs_queries=args.bfs_queries,
         seed=args.seed,
+        workers=args.workers,
     )
     names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    records: list[dict] = []
     for name in names:
         start = time.perf_counter()
         result = ALL_EXPERIMENTS[name](config)
         elapsed = time.perf_counter() - start
         _emit(_render(result, args.markdown), args.output)
         _emit(f"[{name} finished in {elapsed:.1f}s]", args.output)
+        if args.json:
+            tables = result if isinstance(result, tuple) else (result,)
+            records.append(
+                {
+                    "experiment": name,
+                    "elapsed_s": round(elapsed, 3),
+                    "tables": [t.to_dict() for t in tables],
+                }
+            )
+    if args.json:
+        payload = {
+            "config": {
+                "datasets": list(datasets),
+                "scale": args.scale,
+                "queries": args.queries,
+                "bfs_queries": args.bfs_queries,
+                "seed": args.seed,
+                "workers": args.workers,
+            },
+            "experiments": records,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
     return 0
 
 

@@ -9,8 +9,13 @@ from repro.core.general_k import (
     KHopAnswer,
 )
 from repro.core.hkreach import HKReachIndex
+from repro.core.index_graph import (
+    IndexGraph,
+    cover_triples_blocked,
+    cover_triples_serial,
+)
 from repro.core.kreach import KReachIndex
-from repro.core.parallel import build_kreach_parallel, parallel_khop_rows
+from repro.core.parallel import build_kreach_parallel, parallel_khop_triples
 from repro.core.rowstore import CompressedRow, compress_rows
 from repro.core.serialize import load_kreach, save_kreach
 from repro.core.vertex_cover import (
@@ -27,10 +32,13 @@ __all__ = [
     "KReachIndex",
     "HKReachIndex",
     "DynamicKReachIndex",
+    "IndexGraph",
+    "cover_triples_blocked",
+    "cover_triples_serial",
     "CompressedRow",
     "compress_rows",
     "build_kreach_parallel",
-    "parallel_khop_rows",
+    "parallel_khop_triples",
     "save_kreach",
     "load_kreach",
     "CoverDistanceOracle",

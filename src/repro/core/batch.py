@@ -7,12 +7,11 @@ the table.  This module holds the numpy building blocks the batch paths of
 :class:`~repro.core.hkreach.HKReachIndex` and the general-k structures
 share:
 
-* :class:`KeyedRowStore` — the index's ``{u: {v: weight}}`` row store
-  flattened into one sorted ``u * n + v`` key array, so a *bulk* weight
-  lookup is a single :func:`numpy.searchsorted` instead of per-pair dict
-  probes.  WAH-compressed hub rows are expanded through
-  :meth:`~repro.core.rowstore.CompressedRow.arrays` (vectorized bitmap
-  decode) when the store is built.
+* :class:`KeyedRowStore` — the index's sorted ``u * n + v`` key array, so
+  a *bulk* weight lookup is a single :func:`numpy.searchsorted` instead
+  of per-pair dict probes.  It is taken zero-copy from the
+  :class:`~repro.core.index_graph.IndexGraph` key/weight arrays; legacy
+  nested-dict rows convert through :meth:`KeyedRowStore.from_rows`.
 * :func:`gather_segments` — concatenate the CSR adjacency lists of a
   vertex array in O(f + t) numpy work, tagging every neighbor with the
   position of the query pair that owns it.  This is what replaces the
@@ -29,7 +28,6 @@ All kernels operate on dense int64 vertex ids; booleans come back as
 
 from __future__ import annotations
 
-from itertools import chain
 from typing import Iterator, Mapping
 
 import numpy as np
@@ -82,85 +80,55 @@ def as_pair_arrays(pairs: object, n: int) -> tuple[np.ndarray, np.ndarray]:
 
 
 class KeyedRowStore:
-    """A row store flattened to sorted ``u * n + v`` keys for bulk lookup.
+    """Sorted ``u * n + v`` key + weight arrays for bulk weight lookup.
+
+    The canonical construction path is **zero-copy**: an
+    :class:`~repro.core.index_graph.IndexGraph` hands its (already sorted)
+    key and weight arrays straight in.  Unsorted inputs are argsorted
+    once; :meth:`from_rows` converts legacy ``{u: {v: w}}`` mappings.
 
     Parameters
     ----------
-    rows:
-        ``{u: row}`` where each row is either a plain ``{v: weight}`` dict
-        or a :class:`~repro.core.rowstore.CompressedRow`.
+    keys:
+        int64 ``u * n + v`` edge keys.
+    weights:
+        int64 stored weights aligned with ``keys``.
     n:
         Vertex-id universe size (the key stride).
 
     Examples
     --------
-    >>> store = KeyedRowStore({0: {2: 1, 3: 2}, 3: {0: 1}}, n=4)
+    >>> store = KeyedRowStore.from_rows({0: {2: 1, 3: 2}, 3: {0: 1}}, n=4)
     >>> store.lookup(np.array([0, 0, 3]), np.array([3, 1, 0])).tolist()
     [2, 4611686018427387904, 1]
     """
 
     __slots__ = ("_keys", "_weights", "_n")
 
-    def __init__(self, rows: Mapping[int, object], n: int) -> None:
-        key_parts: list[np.ndarray] = []
-        weight_parts: list[np.ndarray] = []
-        plain: list[tuple[int, dict]] = []
-        compressed: list[tuple[int, object]] = []
-        for u, row in rows.items():
-            if isinstance(row, dict):
-                plain.append((u, row))
-            else:
-                compressed.append((u, row))
-        # Ascending-source iteration keeps the flattened keys grouped in
-        # ascending u blocks; rows built by the vectorized BFS sweep also
-        # list their targets in ascending order, so the common big stores
-        # come out already sorted and skip the argsort + gathers below.
-        plain.sort(key=lambda item: item[0])
-        if plain:
-            # One chained fromiter per column instead of two small arrays
-            # per row: on hub-heavy indexes |E_I| runs into the millions
-            # and per-row numpy overhead dominates the build otherwise.
-            counts = np.fromiter(
-                (len(row) for _, row in plain), dtype=np.int64, count=len(plain)
-            )
-            total = int(counts.sum())
-            targets = np.fromiter(
-                chain.from_iterable(row.keys() for _, row in plain),
-                dtype=np.int64,
-                count=total,
-            )
-            weights = np.fromiter(
-                chain.from_iterable(row.values() for _, row in plain),
-                dtype=np.int64,
-                count=total,
-            )
-            sources = np.repeat(
-                np.fromiter((u for u, _ in plain), dtype=np.int64, count=len(plain)),
-                counts,
-            )
-            key_parts.append(sources * n + targets)
-            weight_parts.append(weights)
-        for u, row in compressed:  # vectorized per-level bitmap decode
-            targets, weights = row.arrays()
-            key_parts.append(np.int64(u) * n + targets)
-            weight_parts.append(weights)
-        if key_parts:
-            keys = np.concatenate(key_parts) if len(key_parts) > 1 else key_parts[0]
-            weights = (
-                np.concatenate(weight_parts)
-                if len(weight_parts) > 1
-                else weight_parts[0]
-            )
-            if len(keys) > 1 and not bool(np.all(keys[:-1] < keys[1:])):
-                order = np.argsort(keys, kind="stable")
-                keys = keys[order]
-                weights = weights[order]
-            self._keys = keys
-            self._weights = weights
-        else:
-            self._keys = np.empty(0, dtype=np.int64)
-            self._weights = np.empty(0, dtype=np.int64)
+    def __init__(self, keys: np.ndarray, weights: np.ndarray, n: int) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if len(keys) != len(weights):
+            raise ValueError("keys and weights must be aligned")
+        if len(keys) > 1 and not bool(np.all(keys[:-1] < keys[1:])):
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            weights = weights[order]
+        self._keys = keys
+        self._weights = weights
         self._n = n
+
+    @classmethod
+    def from_rows(cls, rows: Mapping[int, object], n: int) -> "KeyedRowStore":
+        """Conversion helper: flatten legacy nested-dict rows.
+
+        Each row is a plain ``{v: weight}`` dict or a
+        :class:`~repro.core.rowstore.CompressedRow`; the per-edge
+        flattening lives in :func:`~repro.core.rowstore.rows_to_arrays`.
+        """
+        from repro.core.rowstore import rows_to_arrays
+
+        return cls(*rows_to_arrays(rows, n), n)
 
     def __len__(self) -> int:
         return len(self._keys)

@@ -23,16 +23,25 @@ obvious follow-up — keeping the index consistent as the graph changes.
   valid under deletions (removing edges never uncovers one).
 
 The class keeps its own mutable adjacency (the static
-:class:`~repro.graph.digraph.DiGraph` is by design immutable) and answers
-queries with the same four-case Algorithm 2; equivalence against a
-freshly built :class:`~repro.core.kreach.KReachIndex` after arbitrary
-update sequences is the central test invariant.
+:class:`~repro.graph.digraph.DiGraph` is by design immutable) and its own
+mutable weight store — vertex-indexed row dicts, the update-friendly
+mirror of the static :class:`~repro.core.index_graph.IndexGraph` (row
+replacement is one list-slot swap; there is no outer hash layer) — and
+answers queries with the same four-case Algorithm 2.  Equivalence
+against a freshly built
+:class:`~repro.core.kreach.KReachIndex` after arbitrary update sequences
+is the central test invariant, and :meth:`DynamicKReachIndex.freeze`
+emits exactly such a static index through the array path once a burst of
+updates settles.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
+from repro.core.index_graph import IndexGraph
 from repro.core.kreach import KReachIndex
 from repro.graph.digraph import DiGraph
 
@@ -72,9 +81,13 @@ class DynamicKReachIndex:
         self._in: list[set[int]] = [set(row) for row in graph.in_lists()]
         base = KReachIndex(graph, k)
         self._cover: set[int] = set(base.cover)
-        self._rows: dict[int, dict[int, int]] = {
-            u: dict(base._rows[u]) for u in base._rows
-        }
+        # Mutable weight store: vertex-indexed row dicts (None = no row).
+        # Row replacement — the deletion hot path — swaps one list slot
+        # for a freshly built dict; there is no outer hash layer to keep
+        # consistent.  Seeded straight from the static index's arrays.
+        self._rows: list[dict[int, int] | None] = [None] * graph.n
+        for u, row in base.index_graph.rows_dict().items():
+            self._rows[u] = row
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -109,22 +122,29 @@ class DynamicKReachIndex:
         if self.k is not None and dist > self.k:
             return
         w = self._quantize(dist)
-        row = self._rows.setdefault(x, {})
+        row = self._rows[x]
+        if row is None:
+            row = self._rows[x] = {}
         old = row.get(y)
         if old is None or w < old:
             row[y] = w
 
     def _rebuild_row(self, x: int) -> None:
         """Recompute cover vertex ``x``'s row with a fresh bounded BFS."""
+        cover = self._cover
         ball = self._bounded_ball(x, self.k, self._out)
-        row = {}
-        for v, d in ball.items():
-            if v != x and v in self._cover:
-                row[v] = self._quantize(d)
-        if row:
-            self._rows[x] = row
+        ball.pop(x, None)
+        row: dict[int, int] = {}
+        if self.k is None:  # quantization inlined: this loop is the
+            for v in ball:  # maintenance hot path (millions of targets)
+                if v in cover:
+                    row[v] = 0
         else:
-            self._rows.pop(x, None)
+            floor = self.k - 2
+            for v, d in ball.items():
+                if v in cover:
+                    row[v] = d if d > floor else floor
+        self._rows[x] = row or None
 
     def _add_to_cover(self, w: int) -> None:
         """Grow the cover by ``w``: forward row + backward in-links."""
@@ -193,7 +213,7 @@ class DynamicKReachIndex:
     def _link_within(self, x: int, y: int, budget: int | None) -> bool:
         if x == y:
             return budget is None or budget >= 0
-        row = self._rows.get(x)
+        row = self._rows[x]
         if row is None:
             return False
         w = row.get(y)
@@ -253,9 +273,42 @@ class DynamicKReachIndex:
     @property
     def edge_count(self) -> int:
         """Current number of index edges."""
-        return sum(len(row) for row in self._rows.values())
+        return sum(len(row) for row in self._rows if row is not None)
 
     def to_digraph(self) -> DiGraph:
         """Snapshot the current graph as an immutable :class:`DiGraph`."""
         edges = [(u, v) for u in range(self.n) for v in self._out[u]]
         return DiGraph(self.n, edges)
+
+    def freeze(self) -> KReachIndex:
+        """Emit a static :class:`KReachIndex` of the current state.
+
+        The mutable rows are flattened into ``(src, dst, w)`` arrays and
+        fed through the same array path every other builder uses
+        (:meth:`IndexGraph.from_triples
+        <repro.core.index_graph.IndexGraph.from_triples>`) — no
+        re-traversal, no dict-of-dicts intermediate.  The frozen index
+        answers exactly like the dynamic one (and hence like a fresh
+        static build on the current graph, per the maintenance
+        invariant); use it to hand a settled graph to the serving /
+        serialization paths.
+        """
+        g = self.to_digraph()
+        row_items = [
+            (u, row) for u, row in enumerate(self._rows) if row
+        ]
+        counts = [len(row) for _, row in row_items]
+        m = sum(counts)
+        src = np.repeat(
+            np.fromiter((u for u, _ in row_items), dtype=np.int64, count=len(row_items)),
+            counts,
+        )
+        dst = np.fromiter(
+            (v for _, row in row_items for v in row), dtype=np.int64, count=m
+        )
+        weights = np.fromiter(
+            (w for _, row in row_items for w in row.values()), dtype=np.int64, count=m
+        )
+        cover = frozenset(self._cover)
+        ig = IndexGraph.for_kreach(g.n, cover, src, dst, weights, self.k)
+        return KReachIndex.from_index_graph(g, self.k, cover=cover, index_graph=ig)

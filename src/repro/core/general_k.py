@@ -33,10 +33,10 @@ from repro.core.batch import (
     has_edge_batch,
     plan_cross_products,
 )
+from repro.core.index_graph import IndexGraph, cover_triples_blocked
 from repro.core.kreach import KReachIndex
 from repro.core.vertex_cover import cover_from_strategy, is_vertex_cover
 from repro.graph.digraph import DiGraph
-from repro.graph.traversal import UNREACHED, bfs_distances
 
 __all__ = [
     "INFINITE_DISTANCE",
@@ -88,21 +88,26 @@ class CoverDistanceOracle:
         self._in_cover = np.zeros(graph.n, dtype=bool)
         if cover:
             self._in_cover[list(cover)] = True
-        self._rows: dict[int, dict[int, int]] = {}
-        self._max_distance = 0
-        for u in cover:
-            dist = bfs_distances(graph, u)
-            hit = np.flatnonzero((dist != UNREACHED) & self._in_cover)
-            row = {int(v): int(dist[v]) for v in hit if int(v) != u}
-            if row:
-                self._rows[u] = row
-                self._max_distance = max(self._max_distance, max(row.values()))
+        # Exact cover-pair distances in the canonical CSR storage, fed by
+        # the blocked multi-source BFS (full sweeps: k=None, no floor).
+        triples = cover_triples_blocked(graph, cover, None)
+        self._ig = IndexGraph.from_triples(graph.n, cover, *triples)
+        weights = self._ig.weights64()
+        self._max_distance = int(weights.max()) if len(weights) else 0
+        self._flat: dict[int, int] | None = None
         self._keyed_rows: KeyedRowStore | None = None
 
+    @property
+    def index_graph(self) -> IndexGraph:
+        """The canonical CSR storage (§4.3 physical layout)."""
+        return self._ig
+
     def _keyed(self) -> KeyedRowStore:
-        """Sorted-key view of the distance rows for bulk gathers."""
+        """Sorted-key view of the distances (zero-copy from the CSR)."""
         if self._keyed_rows is None:
-            self._keyed_rows = KeyedRowStore(self._rows, self.graph.n)
+            self._keyed_rows = KeyedRowStore(
+                self._ig.keys(), self._ig.weights64(), self.graph.n
+            )
         return self._keyed_rows
 
     def prepare_batch(self) -> "CoverDistanceOracle":
@@ -115,10 +120,11 @@ class CoverDistanceOracle:
     def _pair_distance(self, u: int, v: int) -> float:
         if u == v:
             return 0
-        row = self._rows.get(u)
-        if row is None:
-            return INFINITE_DISTANCE
-        return row.get(v, INFINITE_DISTANCE)
+        flat = self._flat
+        if flat is None:
+            flat = self._flat = self._ig.flat()
+        w = flat.get(u * self.graph.n + v)
+        return INFINITE_DISTANCE if w is None else w
 
     def distance(self, s: int, t: int) -> float:
         """Exact shortest-path distance (``INFINITE_DISTANCE`` if unreachable)."""
@@ -245,7 +251,7 @@ class CoverDistanceOracle:
     @property
     def edge_count(self) -> int:
         """Number of stored finite cover-pair distances."""
-        return sum(len(row) for row in self._rows.values())
+        return self._ig.edge_count
 
     def weight_bits(self) -> int:
         """Bits per stored distance: ``⌈log2 d⌉`` (§4.4)."""

@@ -53,20 +53,16 @@ from repro.core.batch import (
     as_pair_arrays,
     case_codes,
 )
+from repro.core.index_graph import IndexGraph, cover_triples_blocked
 from repro.core.vertex_cover import hhop_vertex_cover, is_hhop_vertex_cover
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import (
-    UNREACHED,
-    bfs_distances,
-    bfs_distances_scalar,
     bidirectional_reaches_within,
     bounded_neighborhood,
     reaches_within_small,
 )
 
 __all__ = ["HKReachIndex"]
-
-_SCALAR_BFS_MAX_K = 3
 
 # Cap on the per-batch level-expansion memo (entries).  Random 1M-pair
 # workloads have mostly distinct endpoints; without a bound the memo
@@ -150,33 +146,25 @@ class HKReachIndex:
         self._in_cover = np.zeros(graph.n, dtype=bool)
         if cover:
             self._in_cover[list(cover)] = True
-        self._rows: dict[int, dict[int, int]] = {}
-        self._build()
+        self._ig = self._build()
+        self._flat: dict[int, int] | None = None
         self._keyed_rows: KeyedRowStore | None = None
 
     # ------------------------------------------------------------------
     # Construction (Algorithm 1 with Definition-2 weights)
     # ------------------------------------------------------------------
-    def _build(self) -> None:
+    def _build(self) -> IndexGraph:
+        """Blocked MS-BFS sweeps into the canonical CSR storage."""
         g, k = self.graph, self.k
         floor = max(k - 2 * self.h, 0) if k is not None else 0
-        in_cover = self._in_cover
-        use_scalar = k is not None and k <= _SCALAR_BFS_MAX_K
-        for u in self.cover:
-            row: dict[int, int] = {}
-            if use_scalar:
-                for v, d in bfs_distances_scalar(g, u, k=k).items():
-                    if v != u and in_cover[v]:
-                        row[v] = max(d, floor)
-            else:
-                dist = bfs_distances(g, u, k=k)
-                hit = np.flatnonzero((dist != UNREACHED) & in_cover)
-                for v in hit:
-                    v = int(v)
-                    if v != u:
-                        row[v] = max(int(dist[v]), floor)
-            if row:
-                self._rows[u] = row
+        triples = cover_triples_blocked(g, self.cover, k)
+        return IndexGraph.from_triples(
+            g.n,
+            self.cover,
+            *triples,
+            floor=floor,
+            weight_bits=self.weight_bits() if k is not None else None,
+        )
 
     # ------------------------------------------------------------------
     # Query processing (Algorithm 3)
@@ -185,10 +173,10 @@ class HKReachIndex:
         """Index-certified ``d(u, v) ≤ budget``; ``u == v`` is distance 0."""
         if u == v:
             return budget is None or budget >= 0
-        row = self._rows.get(u)
-        if row is None:
-            return False
-        w = row.get(v)
+        flat = self._flat
+        if flat is None:
+            flat = self._flat = self._ig.flat()
+        w = flat.get(u * self.graph.n + v)
         if w is None:
             return False
         return budget is None or w <= budget
@@ -360,9 +348,11 @@ class HKReachIndex:
     # Batch query processing
     # ------------------------------------------------------------------
     def _keyed(self) -> KeyedRowStore:
-        """Sorted-key view of the row store for bulk Case-1 gathers."""
+        """Sorted-key view for bulk Case-1 gathers (zero-copy from CSR)."""
         if self._keyed_rows is None:
-            self._keyed_rows = KeyedRowStore(self._rows, self.graph.n)
+            self._keyed_rows = KeyedRowStore(
+                self._ig.keys(), self._ig.weights64(), self.graph.n
+            )
         return self._keyed_rows
 
     def prepare_batch(self) -> "HKReachIndex":
@@ -441,6 +431,11 @@ class HKReachIndex:
     # Introspection & storage model
     # ------------------------------------------------------------------
     @property
+    def index_graph(self) -> IndexGraph:
+        """The canonical CSR storage (§4.3 physical layout)."""
+        return self._ig
+
+    @property
     def cover_size(self) -> int:
         """``|V_H|``."""
         return len(self.cover)
@@ -448,18 +443,15 @@ class HKReachIndex:
     @property
     def edge_count(self) -> int:
         """``|E_H|``."""
-        return sum(len(row) for row in self._rows.values())
+        return self._ig.edge_count
 
     def weight(self, u: int, v: int) -> int | None:
         """The stored ``ω_H((u, v))``, or None if absent."""
-        row = self._rows.get(u)
-        return None if row is None else row.get(v)
+        return self._ig.weight_of(u, v)
 
     def weighted_edges(self) -> list[tuple[int, int, int]]:
         """All index edges as sorted ``(u, v, weight)`` triples."""
-        return sorted(
-            (u, v, w) for u, row in self._rows.items() for v, w in row.items()
-        )
+        return self._ig.weighted_edges()
 
     def weight_bits(self) -> int:
         """Bits per edge weight: ``ceil(log2(2h+1))`` distinct values
@@ -480,12 +472,14 @@ class HKReachIndex:
         return id_bytes + indptr_bytes + indices_bytes + weight_bytes + bitmap_bytes
 
     def packed_weights(self) -> PackedIntArray:
-        """Edge weights packed at ``weight_bits()`` bits (offset by k-2h)."""
+        """Edge weights packed at ``weight_bits()`` bits (offset by k-2h).
+
+        With the CSR-native storage this is the canonical weight array of
+        the :class:`IndexGraph`, not a copy.
+        """
         if self.k is None:
             raise ValueError("the unbounded mode stores no weights")
-        floor = max(self.k - 2 * self.h, 0)
-        values = [w - floor for _, _, w in self.weighted_edges()]
-        return PackedIntArray.from_values(values, bits=self.weight_bits())
+        return self._ig.packed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         k = "inf" if self.k is None else self.k

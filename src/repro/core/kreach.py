@@ -10,6 +10,15 @@ weighted digraph ``I = (V_I, E_I, ω_I)``:
   quantized to the three values ``{k-2, k-1, k}``, which is all query
   processing ever needs (2 bits per edge, §4.3).
 
+The index is held as an :class:`~repro.core.index_graph.IndexGraph` — the
+paper's §4.3 physical layout (cover-id table + CSR + packed weights) used
+directly as the canonical in-memory representation.  Construction feeds
+it from ``(src, dst, dist)`` triple arrays produced by the blocked
+bit-parallel multi-source BFS (``builder='blocked'``, the default) or the
+per-source serial sweep (``builder='serial'``, the differential/benchmark
+baseline); both are bit-identical, as is the process-parallel build in
+:mod:`repro.core.parallel`.
+
 Queries (Algorithm 2) split on cover membership of the endpoints:
 
 * **Case 1** (both in ``S``): one edge lookup in ``I``.
@@ -30,7 +39,7 @@ materializing self-loops; `tests/core/test_kreach.py` exercises both
 situations.
 
 With ``k=None`` the index degenerates to the paper's **n-reach**: a classic
-reachability index.  In that mode construction runs over the SCC
+reachability index.  In that mode the serial builder runs over the SCC
 condensation's transitive closure instead of per-cover-vertex BFS — the
 same index, built with bitset sweeps instead of |S| graph traversals.
 """
@@ -50,17 +59,19 @@ from repro.core.batch import (
     segment_any,
     plan_cross_products,
 )
-from repro.core.rowstore import compress_rows
+from repro.core.index_graph import (
+    IndexGraph,
+    cover_triples_blocked,
+    cover_triples_serial,
+)
+from repro.core.rowstore import CompressedRow
 from repro.core.vertex_cover import cover_from_strategy, is_vertex_cover
 from repro.graph.digraph import DiGraph
 from repro.graph.scc import condensation
-from repro.graph.traversal import UNREACHED, bfs_distances, bfs_distances_scalar
 
 __all__ = ["KReachIndex"]
 
-# Below this k a scalar sparse BFS beats the vectorized full-array BFS
-# because the k-hop ball is tiny relative to the graph.
-_SCALAR_BFS_MAX_K = 3
+_BUILDERS = ("blocked", "serial")
 
 
 class KReachIndex:
@@ -83,10 +94,15 @@ class KReachIndex:
     include_degree_at_least:
         Seed all vertices of at least this degree into the cover (§4.3).
     compress_rows_at:
-        If set, index rows with at least this many edges are stored as
-        per-weight-level WAH bitmaps instead of hash tables — the §4.3
-        compact representation for high-degree vertices.  Queries then
-        probe compressed bits instead of scanning neighbor lists.
+        If set, index rows with at least this many edges additionally get
+        per-weight-level WAH bitmaps — the §4.3 compact representation for
+        high-degree vertices.  Scalar queries then probe compressed bits
+        for those rows instead of hashing neighbor keys.
+    builder:
+        ``'blocked'`` (default) constructs via the bit-parallel
+        multi-source BFS; ``'serial'`` runs one BFS per cover vertex (the
+        pre-refactor path, kept for differential tests and benchmarks).
+        Both produce bit-identical :class:`IndexGraph` contents.
     rng:
         Randomness for ``cover_strategy='random'``.
 
@@ -121,12 +137,13 @@ class KReachIndex:
         cover_strategy: str = "degree",
         include_degree_at_least: int | None = None,
         compress_rows_at: int | None = None,
+        builder: str = "blocked",
         rng: np.random.Generator | None = None,
     ) -> None:
         if k is not None and k < 0:
             raise ValueError(f"k must be non-negative or None, got {k}")
-        self.graph = graph
-        self.k = k
+        if builder not in _BUILDERS:
+            raise ValueError(f"builder must be one of {_BUILDERS}, got {builder!r}")
         if cover is None:
             cover = cover_from_strategy(
                 graph,
@@ -138,29 +155,83 @@ class KReachIndex:
             cover = frozenset(int(v) for v in cover)
             if not is_vertex_cover(graph, cover):
                 raise ValueError("provided vertex set is not a vertex cover")
-        self.cover: frozenset[int] = cover
+        if k is None and builder == "serial":
+            triples = self._unbounded_triples_serial(graph, cover)
+        else:
+            make = cover_triples_serial if builder == "serial" else cover_triples_blocked
+            triples = make(graph, cover, k)
+        ig = IndexGraph.for_kreach(graph.n, cover, *triples, k)
+        self._finish_init(graph, k, cover, ig, compress_rows_at)
+
+    def _finish_init(
+        self,
+        graph: DiGraph,
+        k: int | None,
+        cover: frozenset[int],
+        index_graph: IndexGraph,
+        compress_rows_at: int | None,
+    ) -> None:
+        self.graph = graph
+        self.k = k
+        self.cover = cover
         # bytearray: fastest per-query membership flag in CPython.
         self._cover_flags = bytearray(graph.n)
         for v in cover:
             self._cover_flags[v] = 1
-        # Index adjacency: cover vertex -> {cover vertex: quantized weight}.
-        self._rows: dict[int, dict[int, int]] = {}
         # Pre-resolved query-time budgets (None = unbounded).
         self._b1_ok = k is None or k >= 1  # may a u == v handshake use k-1?
         self._b2_ok = k is None or k >= 2  # ... use k-2?
-        if k is None:
-            self._build_unbounded()
-        else:
-            self._build_khop()
+        self._ig = index_graph
         self.compress_rows_at = compress_rows_at
-        if compress_rows_at is not None:
-            self._rows = compress_rows(self._rows, graph.n, compress_rows_at)
+        self._wah = self._build_wah(compress_rows_at)
         # Plain-list adjacency for the hot query loops.
         self._out_lists = graph.out_lists()
         self._in_lists = graph.in_lists()
-        # Lazily-built vectorized lookup structures for the batch engine.
+        # Lazily-built scalar probe view and vectorized lookup structures.
+        self._scalar: tuple | None = None
         self._keyed_rows: KeyedRowStore | None = None
         self._flags_np: np.ndarray | None = None
+
+    def _build_wah(self, threshold: int | None) -> dict[int, CompressedRow] | None:
+        """§4.3 WAH bitmap views of rows with at least ``threshold`` edges."""
+        if threshold is None:
+            return None
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        ig = self._ig
+        counts = np.diff(ig.indptr)
+        weights = ig.weights64()
+        wah: dict[int, CompressedRow] = {}
+        for i in np.flatnonzero(counts >= threshold).tolist():
+            lo, hi = int(ig.indptr[i]), int(ig.indptr[i + 1])
+            wah[int(ig.cover_ids[i])] = CompressedRow.from_arrays(
+                ig.targets[lo:hi], weights[lo:hi], ig.n
+            )
+        return wah or None
+
+    @classmethod
+    def from_index_graph(
+        cls,
+        graph: DiGraph,
+        k: int | None,
+        *,
+        cover: frozenset[int],
+        index_graph: IndexGraph,
+        compress_rows_at: int | None = None,
+    ) -> "KReachIndex":
+        """Assemble an index around a pre-built :class:`IndexGraph`.
+
+        Used by the parallel builder (:mod:`repro.core.parallel`), the
+        on-disk loader (:mod:`repro.core.serialize`), and
+        :meth:`~repro.core.dynamic.DynamicKReachIndex.freeze`.  The caller
+        is responsible for the contents being exactly what Algorithm 1
+        would have produced for this ``(graph, k, cover)``.
+        """
+        self = object.__new__(cls)
+        self._finish_init(
+            graph, k, frozenset(int(v) for v in cover), index_graph, compress_rows_at
+        )
+        return self
 
     @classmethod
     def from_parts(
@@ -172,75 +243,45 @@ class KReachIndex:
         rows: dict[int, dict[int, int]],
         compress_rows_at: int | None = None,
     ) -> "KReachIndex":
-        """Assemble an index from pre-computed parts without rebuilding.
+        """Conversion helper: assemble from legacy nested-dict rows.
 
-        Used by the parallel builder (:mod:`repro.core.parallel`) and the
-        on-disk loader (:mod:`repro.core.serialize`).  The caller is
-        responsible for ``rows`` being exactly what Algorithm 1 would have
-        produced for this ``(graph, k, cover)``.
+        Prefer :meth:`from_index_graph`; this remains for tests and tools
+        that still hold ``{u: {v: w}}`` mappings.
         """
-        self = object.__new__(cls)
-        self.graph = graph
-        self.k = k
-        self.cover = frozenset(int(v) for v in cover)
-        self._cover_flags = bytearray(graph.n)
-        for v in self.cover:
-            self._cover_flags[v] = 1
-        self._rows = {int(u): dict(row) for u, row in rows.items()}
-        self._b1_ok = k is None or k >= 1
-        self._b2_ok = k is None or k >= 2
-        self.compress_rows_at = compress_rows_at
-        if compress_rows_at is not None:
-            self._rows = compress_rows(self._rows, graph.n, compress_rows_at)
-        self._out_lists = graph.out_lists()
-        self._in_lists = graph.in_lists()
-        self._keyed_rows = None
-        self._flags_np = None
-        return self
+        cover = frozenset(int(v) for v in cover)
+        if k is None:
+            ig = IndexGraph.from_rows(
+                graph.n, cover, rows, weight_base=0, weight_bits=1
+            )
+        else:
+            ig = IndexGraph.from_rows(
+                graph.n, cover, rows, weight_base=k - 2, weight_bits=2
+            )
+        return cls.from_index_graph(
+            graph, k, cover=cover, index_graph=ig, compress_rows_at=compress_rows_at
+        )
 
     # ------------------------------------------------------------------
     # Construction (Algorithm 1)
     # ------------------------------------------------------------------
-    def _build_khop(self) -> None:
-        """k-hop BFS from every cover vertex (Algorithm 1, line 5)."""
-        g, k = self.graph, self.k
-        assert k is not None
-        floor = k - 2
-        flags = self._cover_flags
-        in_cover_np = np.frombuffer(bytes(flags), dtype=np.uint8).astype(bool)
-        use_scalar = k <= _SCALAR_BFS_MAX_K
-        for u in self.cover:
-            row: dict[int, int] = {}
-            if use_scalar:
-                for v, d in bfs_distances_scalar(g, u, k=k).items():
-                    if v != u and flags[v]:
-                        row[v] = d if d > floor else floor
-            else:
-                dist = bfs_distances(g, u, k=k)
-                hit = np.flatnonzero((dist != UNREACHED) & in_cover_np)
-                for v in hit.tolist():
-                    if v != u:
-                        d = int(dist[v])
-                        row[v] = d if d > floor else floor
-            if row:
-                self._rows[u] = row
-
-    def _build_unbounded(self) -> None:
-        """n-reach construction over the condensation's transitive closure.
+    @staticmethod
+    def _unbounded_triples_serial(
+        graph: DiGraph, cover: frozenset[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """n-reach triples over the condensation's transitive closure.
 
         For ``k = ∞`` only reachability between cover vertices matters, so
-        instead of |S| full BFS sweeps we compute the DAG transitive
-        closure once (big-int bitmask OR-accumulation in reverse
-        topological order) and expand it to cover pairs.
+        instead of |S| full BFS sweeps the serial builder computes the DAG
+        transitive closure once (big-int bitmask OR-accumulation in
+        reverse topological order) and expands it to cover pairs.
         """
-        g = self.graph
-        cond = condensation(g)
+        cond = condensation(graph)
         comp = cond.component_of
         dag = cond.dag
         n_dag = dag.n
 
         members: dict[int, list[int]] = {}
-        for u in self.cover:
+        for u in cover:
             members.setdefault(int(comp[u]), []).append(u)
         cover_comp_mask = 0
         for c in members:
@@ -254,6 +295,8 @@ class KReachIndex:
                 acc |= closure[child] | (1 << child)
             closure[c] = acc
 
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
         for c, us in members.items():
             # Cover vertices in strictly-reachable components.
             reach: list[int] = []
@@ -264,13 +307,68 @@ class KReachIndex:
                 mask ^= low
             same = us if len(us) > 1 and not cond.is_trivial(c) else None
             for u in us:
-                row = dict.fromkeys(reach, 0)
+                row = list(reach)
                 if same is not None:
-                    for v in same:
-                        if v != u:
-                            row[v] = 0
+                    row.extend(v for v in same if v != u)
                 if row:
-                    self._rows[u] = row
+                    dsts.append(np.asarray(row, dtype=np.int64))
+                    srcs.append(np.full(len(row), u, dtype=np.int64))
+        if not srcs:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        src = np.concatenate(srcs)
+        return src, np.concatenate(dsts), np.zeros(len(src), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Scalar probe view (derived from the IndexGraph, built on first use)
+    # ------------------------------------------------------------------
+    def _scalar_view(self) -> tuple:
+        """``(probe, targets, weights, row_pos, indptr)`` for scalar loops.
+
+        ``probe(u, v)`` returns the stored weight or None via one flat
+        hash lookup (WAH bitmap bit-probes for compressed hub rows); the
+        plain-list CSR columns back the Case-4 small-row scans.  All of it
+        is a view of the canonical :class:`IndexGraph` arrays.
+        """
+        if self._scalar is None:
+            ig = self._ig
+            n = self.graph.n
+            wah = self._wah
+            if wah is None:
+                flat = ig.flat()
+
+                def probe(u: int, v: int, _flat=flat, _n=n):
+                    return _flat.get(u * _n + v)
+
+            else:
+                # Hub rows answer through their bitmaps; exclude them from
+                # the flat dict so it stays proportional to the plain rows.
+                heads = np.repeat(ig.cover_ids, np.diff(ig.indptr))
+                keep = ~np.isin(
+                    heads,
+                    np.fromiter(wah.keys(), dtype=np.int64, count=len(wah)),
+                )
+                flat = dict(
+                    zip(
+                        ig.keys()[keep].tolist(),
+                        ig.weights64()[keep].tolist(),
+                    )
+                )
+
+                def probe(u: int, v: int, _flat=flat, _wah=wah, _n=n):
+                    row = _wah.get(u)
+                    if row is not None:
+                        return row.get(v)
+                    return _flat.get(u * _n + v)
+
+            self._scalar = (
+                probe,
+                ig.targets.tolist(),
+                ig.weights64().tolist(),
+                ig.row_pos().tolist(),
+                ig.indptr.tolist(),
+            )
+        return self._scalar
 
     # ------------------------------------------------------------------
     # Query processing (Algorithm 2)
@@ -286,28 +384,26 @@ class KReachIndex:
         k = self.k
         if k == 0:
             return False
-        rows = self._rows
+        probe, tlist, wlist, row_pos, indptr = self._scalar_view()
 
         if flags[s]:
             if flags[t]:
                 # Case 1: all stored weights are <= k by construction.
-                row = rows.get(s)
-                return row is not None and t in row
+                return probe(s, t) is not None
             # Case 2: all in-neighbors of t are covered.
-            row = rows.get(s)
-            b1_ok = self._b1_ok
             if k is None:
                 for v in self._in_lists[t]:
-                    if v == s or (row is not None and v in row):
+                    if v == s or probe(s, v) is not None:
                         return True
                 return False
             budget = k - 1
+            b1_ok = self._b1_ok
             for v in self._in_lists[t]:
                 if v == s:
                     if b1_ok:
                         return True
-                elif row is not None:
-                    w = row.get(v)
+                else:
+                    w = probe(s, v)
                     if w is not None and w <= budget:
                         return True
             return False
@@ -316,10 +412,7 @@ class KReachIndex:
             # Case 3: all out-neighbors of s are covered.
             if k is None:
                 for u in self._out_lists[s]:
-                    if u == t:
-                        return True
-                    row = rows.get(u)
-                    if row is not None and t in row:
+                    if u == t or probe(u, t) is not None:
                         return True
                 return False
             budget = k - 1
@@ -328,11 +421,9 @@ class KReachIndex:
                     if self._b1_ok:
                         return True
                 else:
-                    row = rows.get(u)
-                    if row is not None:
-                        w = row.get(t)
-                        if w is not None and w <= budget:
-                            return True
+                    w = probe(u, t)
+                    if w is not None and w <= budget:
+                        return True
             return False
 
         # Case 4: bridge an out-neighbor of s to an in-neighbor of t.
@@ -341,37 +432,46 @@ class KReachIndex:
             return False
         pred_set = set(preds)
         b2_ok = self._b2_ok
-        if k is None:
-            for u in self._out_lists[s]:
-                if u in pred_set:
-                    return True
-                row = rows.get(u)
-                if not row:
-                    continue
-                if len(row) < len(pred_set) and type(row) is dict:
-                    if not pred_set.isdisjoint(row):
-                        return True
-                else:
-                    for v in pred_set:
-                        if v in row:
-                            return True
-            return False
-        budget = k - 2
+        budget = 0 if k is None else k - 2
+        unbounded = k is None
+        wah = self._wah
         for u in self._out_lists[s]:
             if b2_ok and u in pred_set:
                 return True  # s -> u -> t
-            row = rows.get(u)
-            if not row:
+            p = row_pos[u]
+            if p < 0:
                 continue
-            if len(row) < len(pred_set) and type(row) is dict:
-                for v, w in row.items():
-                    if w <= budget and v in pred_set:
-                        return True
+            if wah is not None:
+                row = wah.get(u)
+                if row is not None:  # hub row: compressed bit probes
+                    for v in pred_set:
+                        w = row.get(v)
+                        if w is not None and (unbounded or w <= budget):
+                            return True
+                    continue
+            a, b = indptr[p], indptr[p + 1]
+            if a == b:
+                continue
+            if b - a < len(pred_set):
+                # Scan the smaller row against the predecessor set.
+                if unbounded:
+                    for i in range(a, b):
+                        if tlist[i] in pred_set:
+                            return True
+                else:
+                    for i in range(a, b):
+                        if wlist[i] <= budget and tlist[i] in pred_set:
+                            return True
             else:
-                for v in pred_set:
-                    w = row.get(v)
-                    if w is not None and w <= budget:
-                        return True
+                if unbounded:
+                    for v in pred_set:
+                        if probe(u, v) is not None:
+                            return True
+                else:
+                    for v in pred_set:
+                        w = probe(u, v)
+                        if w is not None and w <= budget:
+                            return True
         return False
 
     def reaches(self, s: int, t: int) -> bool:
@@ -391,9 +491,11 @@ class KReachIndex:
     # Batch query processing (vectorized Algorithm 2)
     # ------------------------------------------------------------------
     def _keyed(self) -> KeyedRowStore:
-        """The sorted-key view of the row store, built once on first use."""
+        """The batch engine's probe view — zero-copy from the IndexGraph."""
         if self._keyed_rows is None:
-            self._keyed_rows = KeyedRowStore(self._rows, self.graph.n)
+            self._keyed_rows = KeyedRowStore(
+                self._ig.keys(), self._ig.weights64(), self.graph.n
+            )
         return self._keyed_rows
 
     def _flags(self) -> np.ndarray:
@@ -408,7 +510,7 @@ class KReachIndex:
         """Build the batch engine's lookup structures now.
 
         They are otherwise built lazily on the first :meth:`query_batch`
-        call (a one-time O(|E_I|) flatten-and-sort of the row store);
+        call (a one-time key/weight materialization from the IndexGraph);
         serving setups and benchmarks call this to keep that cost out of
         the steady-state query path.  Returns ``self`` for chaining.
         """
@@ -425,11 +527,11 @@ class KReachIndex:
 
         Algorithm 2's case split is evaluated over the cover-membership
         flags of all pairs at once.  Case-1 weights are gathered in one
-        sorted-key binary search over the row store (WAH-compressed rows
-        included), Cases 2/3 batch the neighbor probes over the CSR
-        arrays, and Case 4 sweeps chunked ``outNei(s) × inNei(t)`` cross
-        products — except for rare hub×hub pairs whose product alone
-        would dominate memory; those take the scalar early-exit path.
+        sorted-key binary search over the row store, Cases 2/3 batch the
+        neighbor probes over the CSR arrays, and Case 4 sweeps chunked
+        ``outNei(s) × inNei(t)`` cross products — except for rare hub×hub
+        pairs whose product alone would dominate memory; those take the
+        scalar early-exit path.
         """
         g = self.graph
         s, t = as_pair_arrays(pairs, g.n)
@@ -510,6 +612,11 @@ class KReachIndex:
     # Introspection & storage model
     # ------------------------------------------------------------------
     @property
+    def index_graph(self) -> IndexGraph:
+        """The canonical CSR storage (§4.3 physical layout)."""
+        return self._ig
+
+    @property
     def cover_size(self) -> int:
         """``|V_I|`` — the size of the vertex cover."""
         return len(self.cover)
@@ -517,18 +624,15 @@ class KReachIndex:
     @property
     def edge_count(self) -> int:
         """``|E_I|`` — the number of index edges."""
-        return sum(len(row) for row in self._rows.values())
+        return self._ig.edge_count
 
     def weight(self, u: int, v: int) -> int | None:
         """The stored weight ``ω_I((u, v))``, or None if the edge is absent."""
-        row = self._rows.get(u)
-        return None if row is None else row.get(v)
+        return self._ig.weight_of(u, v)
 
     def weighted_edges(self) -> list[tuple[int, int, int]]:
         """All index edges as sorted ``(u, v, weight)`` triples."""
-        return sorted(
-            (u, v, w) for u, row in self._rows.items() for v, w in row.items()
-        )
+        return self._ig.weighted_edges()
 
     def weight_bits(self) -> int:
         """Bits per stored edge weight.
@@ -547,13 +651,14 @@ class KReachIndex:
         bitmap for the O(1) case dispatch.
         """
         n_i = self.cover_size
-        plain_edges = 0
-        compressed_bytes = 0
-        for row in self._rows.values():
-            if type(row) is dict:
-                plain_edges += len(row)
-            else:
-                compressed_bytes += row.storage_bytes()
+        if self._wah is not None:
+            compressed_bytes = sum(r.storage_bytes() for r in self._wah.values())
+            plain_edges = self._ig.edge_count - sum(
+                len(r) for r in self._wah.values()
+            )
+        else:
+            compressed_bytes = 0
+            plain_edges = self._ig.edge_count
         id_bytes = 4 * n_i  # cover-vertex id table
         indptr_bytes = 4 * (n_i + 1)
         indices_bytes = 4 * plain_edges
@@ -571,14 +676,13 @@ class KReachIndex:
     def packed_weights(self) -> PackedIntArray:
         """The edge weights packed at 2 bits each (0 ↦ k-2, 1 ↦ k-1, 2 ↦ k).
 
-        This is the §4.3 physical encoding; provided for inspection and to
-        keep the storage model honest.  Only defined for finite ``k``.
+        This is the §4.3 physical encoding — and with the CSR-native
+        storage it is simply the canonical weight array of the
+        :class:`IndexGraph`.  Only defined for finite ``k``.
         """
         if self.k is None:
             raise ValueError("n-reach stores no weights")
-        floor = self.k - 2
-        values = [w - floor for _, _, w in self.weighted_edges()]
-        return PackedIntArray.from_values(values, bits=2)
+        return self._ig.packed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         k = "inf" if self.k is None else self.k

@@ -1,16 +1,21 @@
 """Parallel k-reach construction (§4.1.3).
 
 The paper notes that Algorithm 1 "is straightforward to parallelize if
-more machines or CPU cores are available": the k-hop BFS sweeps from the
-cover vertices are independent.  :func:`parallel_khop_rows` fans the cover
-out over a process pool and merges the per-worker row dicts.
+more machines or CPU cores are available": the BFS sweeps from the cover
+vertices are independent.  :func:`parallel_khop_triples` fans contiguous
+chunks of the sorted cover out over a process pool; each worker runs the
+bit-parallel blocked multi-source BFS over its chunk and sends back plain
+``(src, dst, dist)`` numpy arrays, which the parent merges with one
+concatenate (the final lexsort happens inside
+:meth:`IndexGraph.from_triples <repro.core.index_graph.IndexGraph.from_triples>`)
+— no per-entry dict merging anywhere.
 
 On fork-capable platforms the graph is shared copy-on-write through a
 module-level global, so workers pay no serialization cost for the CSR
 arrays; on spawn platforms the graph is pickled once per worker.  The
-result is bit-identical to the serial build (asserted in the tests), so
-:class:`~repro.core.kreach.KReachIndex` exposes it as the ``workers``
-argument of :func:`build_kreach_parallel`.
+result is bit-identical to both single-process builders (asserted in the
+differential tests), so :func:`build_kreach_parallel` is a drop-in
+constructor.
 """
 
 from __future__ import annotations
@@ -20,89 +25,81 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.index_graph import IndexGraph
 from repro.core.kreach import KReachIndex
 from repro.graph.digraph import DiGraph
-from repro.graph.traversal import UNREACHED, bfs_distances
+from repro.graph.traversal import bfs_distances_blocked
 
-__all__ = ["parallel_khop_rows", "build_kreach_parallel"]
+__all__ = ["parallel_khop_triples", "build_kreach_parallel"]
 
-# Worker-global state, installed by the pool initializer.
+# Worker-global state, installed by the pool initializer: the shared
+# graph, the full-cover emit mask, and the hop budget.
 _worker_graph: DiGraph | None = None
-_worker_cover_flags: np.ndarray | None = None
+_worker_emit: np.ndarray | None = None
 _worker_k: int | None = None
-_worker_floor: int = 0
 
 
-def _init_worker(graph: DiGraph, cover_flags: np.ndarray, k: int | None, floor: int) -> None:
-    global _worker_graph, _worker_cover_flags, _worker_k, _worker_floor
+def _init_worker(graph: DiGraph, emit: np.ndarray, k: int | None) -> None:
+    global _worker_graph, _worker_emit, _worker_k
     _worker_graph = graph
-    _worker_cover_flags = cover_flags
+    _worker_emit = emit
     _worker_k = k
-    _worker_floor = floor
 
 
-def _rows_for_chunk(chunk: list[int]) -> dict[int, dict[int, int]]:
-    """One worker's share of Algorithm 1's BFS sweeps."""
-    assert _worker_graph is not None and _worker_cover_flags is not None
-    g = _worker_graph
-    unbounded = _worker_k is None
-    rows: dict[int, dict[int, int]] = {}
-    for u in chunk:
-        dist = bfs_distances(g, u, k=_worker_k)
-        hit = np.flatnonzero((dist != UNREACHED) & _worker_cover_flags)
-        row: dict[int, int] = {}
-        for v in hit.tolist():
-            if v != u:
-                if unbounded:
-                    row[v] = 0  # n-reach stores no distance information
-                else:
-                    d = int(dist[v])
-                    row[v] = d if d > _worker_floor else _worker_floor
-        if row:
-            rows[u] = row
-    return rows
+def _chunk_task(chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One worker's share of Algorithm 1's sweeps, as triple arrays.
+
+    Sources are this chunk only; the emit mask is the *full* cover, so
+    targets span every cover vertex.
+    """
+    assert _worker_graph is not None and _worker_emit is not None
+    return bfs_distances_blocked(
+        _worker_graph, chunk, k=_worker_k, emit=_worker_emit
+    )
 
 
-def parallel_khop_rows(
+def parallel_khop_triples(
     graph: DiGraph,
     cover: Iterable[int],
     k: int | None,
     *,
     workers: int = 2,
-) -> dict[int, dict[int, int]]:
-    """Compute the k-reach row dicts with a process pool.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the Algorithm-1 ``(src, dst, dist)`` triples with a pool.
 
-    Equivalent to the serial Algorithm 1 loop; raises for ``workers < 1``.
+    Equivalent to the single-process builders; raises for ``workers < 1``.
     ``workers=1`` runs inline (useful for tests and as a spawn-cost-free
-    fallback).
+    fallback).  Triples come back unsorted; feed them to
+    :meth:`IndexGraph.from_triples
+    <repro.core.index_graph.IndexGraph.from_triples>`.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    cover_list = sorted(int(v) for v in cover)
-    floor = (k - 2) if k is not None else 0
-    flags = np.zeros(graph.n, dtype=bool)
-    if cover_list:
-        flags[cover_list] = True
+    cover_arr = np.unique(np.fromiter((int(v) for v in cover), dtype=np.int64))
+    in_cover = np.zeros(graph.n, dtype=bool)
+    if len(cover_arr):
+        in_cover[cover_arr] = True
 
-    if workers == 1 or len(cover_list) < 2 * workers:
-        _init_worker(graph, flags, k, floor)
-        try:
-            return _rows_for_chunk(cover_list)
-        finally:
-            _init_worker(None, None, None, 0)  # type: ignore[arg-type]
+    if workers == 1 or len(cover_arr) < 2 * workers:
+        return bfs_distances_blocked(graph, cover_arr, k=k, emit=in_cover)
 
-    chunks = [cover_list[i::workers] for i in range(workers)]
+    # Contiguous chunks keep each worker's 64-source blocks dense.
+    chunks = [c for c in np.array_split(cover_arr, workers) if len(c)]
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
     with ctx.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(graph, flags, k, floor),
+        initargs=(graph, in_cover, k),
     ) as pool:
-        results = pool.map(_rows_for_chunk, chunks)
-    merged: dict[int, dict[int, int]] = {}
-    for part in results:
-        merged.update(part)
-    return merged
+        results = pool.map(_chunk_task, chunks)
+    if not results:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    return (
+        np.concatenate([r[0] for r in results]),
+        np.concatenate([r[1] for r in results]),
+        np.concatenate([r[2] for r in results]),
+    )
 
 
 def build_kreach_parallel(
@@ -114,16 +111,19 @@ def build_kreach_parallel(
     cover_strategy: str = "degree",
     compress_rows_at: int | None = None,
 ) -> KReachIndex:
-    """Build a :class:`KReachIndex` with parallel BFS sweeps.
+    """Build a :class:`KReachIndex` with parallel blocked-BFS sweeps.
 
-    The cover is computed serially (it is a linear-time pass), the rows in
-    parallel, and the result is identical to the serial constructor.
+    The cover is computed serially (it is a linear-time pass), the triples
+    in parallel, and the resulting :class:`IndexGraph` is bit-identical to
+    the single-process builders'.
     """
     from repro.core.vertex_cover import cover_from_strategy
 
     if cover is None:
         cover = cover_from_strategy(graph, cover_strategy)
-    rows = parallel_khop_rows(graph, cover, k, workers=workers)
-    return KReachIndex.from_parts(
-        graph, k, cover=cover, rows=rows, compress_rows_at=compress_rows_at
+    cover = frozenset(int(v) for v in cover)
+    src, dst, dist = parallel_khop_triples(graph, cover, k, workers=workers)
+    ig = IndexGraph.for_kreach(graph.n, cover, src, dst, dist, k)
+    return KReachIndex.from_index_graph(
+        graph, k, cover=cover, index_graph=ig, compress_rows_at=compress_rows_at
     )

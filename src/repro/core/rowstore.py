@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.bitsets.wah import WahBitVector
 
-__all__ = ["CompressedRow", "compress_rows"]
+__all__ = ["CompressedRow", "compress_rows", "rows_to_arrays"]
 
 
 class CompressedRow:
@@ -57,6 +57,31 @@ class CompressedRow:
         ]
         self._size = len(row)
         self.universe = universe
+
+    @classmethod
+    def from_arrays(
+        cls, targets: np.ndarray, weights: np.ndarray, universe: int
+    ) -> "CompressedRow":
+        """Build from aligned (targets, weights) arrays without a dict.
+
+        The vectorized construction path for the CSR-native index: one
+        bitmap per distinct weight level, targets split by boolean mask.
+        """
+        self = object.__new__(cls)
+        targets = np.asarray(targets, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        self._levels = [
+            (
+                int(w),
+                WahBitVector.from_indices(
+                    universe, np.sort(targets[weights == w]).tolist()
+                ),
+            )
+            for w in np.unique(weights).tolist()
+        ]
+        self._size = len(targets)
+        self.universe = universe
+        return self
 
     def get(self, v: int, default: int | None = None) -> int | None:
         """The stored weight for target ``v`` (bit probes, low level first)."""
@@ -112,6 +137,62 @@ class CompressedRow:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CompressedRow(size={self._size}, levels={self.weight_levels()})"
+
+
+def rows_to_arrays(rows: dict, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a legacy ``{u: row}`` mapping to ``(u * n + v, weight)`` arrays.
+
+    Conversion helper for code that still holds nested-dict rows (tests,
+    tools, the dynamic index): plain dict rows flatten through chained
+    ``fromiter`` columns, :class:`CompressedRow` values through their
+    vectorized :meth:`CompressedRow.arrays` decode.  Keys come back sorted
+    when the input rows list their targets in ascending order (the common
+    case); callers that cannot guarantee it should sort.
+    """
+    from itertools import chain
+
+    key_parts: list[np.ndarray] = []
+    weight_parts: list[np.ndarray] = []
+    plain: list[tuple[int, dict]] = []
+    compressed: list[tuple[int, CompressedRow]] = []
+    for u, row in rows.items():
+        if isinstance(row, dict):
+            plain.append((u, row))
+        else:
+            compressed.append((u, row))
+    plain.sort(key=lambda item: item[0])
+    if plain:
+        counts = np.fromiter(
+            (len(row) for _, row in plain), dtype=np.int64, count=len(plain)
+        )
+        total = int(counts.sum())
+        targets = np.fromiter(
+            chain.from_iterable(row.keys() for _, row in plain),
+            dtype=np.int64,
+            count=total,
+        )
+        weights = np.fromiter(
+            chain.from_iterable(row.values() for _, row in plain),
+            dtype=np.int64,
+            count=total,
+        )
+        sources = np.repeat(
+            np.fromiter((u for u, _ in plain), dtype=np.int64, count=len(plain)),
+            counts,
+        )
+        key_parts.append(sources * n + targets)
+        weight_parts.append(weights)
+    for u, row in compressed:  # vectorized per-level bitmap decode
+        targets, weights = row.arrays()
+        key_parts.append(np.int64(u) * n + targets)
+        weight_parts.append(weights)
+    if not key_parts:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    keys = np.concatenate(key_parts) if len(key_parts) > 1 else key_parts[0]
+    weights = (
+        np.concatenate(weight_parts) if len(weight_parts) > 1 else weight_parts[0]
+    )
+    return keys, weights
 
 
 def compress_rows(

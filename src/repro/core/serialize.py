@@ -2,9 +2,15 @@
 
 §4.1.3: "the constructed index is then stored on disk."  This module
 implements that step: a :class:`~repro.core.kreach.KReachIndex` is written
-as a single compressed ``.npz`` holding the §4.3 physical layout — the
+as a single compressed ``.npz`` holding the §4.3 physical layout — which,
+with the CSR-native :class:`~repro.core.index_graph.IndexGraph` as the
+canonical in-memory representation, is a **straight array dump**: the
 cover-id table, the index CSR (offsets + targets), the packed weight
-values — together with the graph's own CSR so a load is self-contained.
+words, and the graph's own dual CSR so a load is self-contained.  No
+Python-level edge loop runs in either direction; loading reassembles the
+graph through :meth:`DiGraph.from_csr
+<repro.graph.digraph.DiGraph.from_csr>` (which validates the CSR
+invariants) and wraps the arrays back into an ``IndexGraph`` verbatim.
 
 Round-trip fidelity (identical query answers) is asserted in
 ``tests/core/test_serialize.py``.
@@ -17,6 +23,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bitsets.packed import PackedIntArray
+from repro.core.index_graph import IndexGraph
 from repro.core.kreach import KReachIndex
 from repro.graph.digraph import DiGraph
 
@@ -25,29 +33,20 @@ __all__ = ["save_kreach", "load_kreach"]
 #: Stored sentinel for the unbounded (n-reach) mode.
 _K_UNBOUNDED = -1
 
-_FORMAT_VERSION = 1
+#: Version 2: straight IndexGraph array dump (v1 stored per-edge triples
+#: rebuilt through Python loops; no longer readable).
+_FORMAT_VERSION = 2
 
 
 def save_kreach(index: KReachIndex, path: str | os.PathLike) -> None:
     """Write ``index`` (and its graph) to ``path`` as compressed NPZ.
 
-    Compressed-row indexes are materialized back to the CSR layout for
-    storage — NPZ's deflate already compresses the arrays, and the loader
-    can re-enable row compression via its ``compress_rows_at`` argument.
+    The canonical :class:`IndexGraph` arrays go to disk verbatim.  WAH
+    row views are *derived* structures and are not stored; the loader
+    re-enables row compression via its ``compress_rows_at`` argument.
     """
     g = index.graph
-    cover = np.asarray(sorted(index.cover), dtype=np.int64)
-    heads: list[int] = []
-    tails: list[int] = []
-    weights: list[int] = []
-    for u in cover.tolist():
-        row = index._rows.get(u)
-        if not row:
-            continue
-        for v, w in sorted(row.items()):
-            heads.append(u)
-            tails.append(v)
-            weights.append(w)
+    ig = index.index_graph
     np.savez_compressed(
         Path(path),
         format_version=np.int64(_FORMAT_VERSION),
@@ -57,10 +56,12 @@ def save_kreach(index: KReachIndex, path: str | os.PathLike) -> None:
         graph_out_indices=g.out_indices,
         graph_in_indptr=g.in_indptr,
         graph_in_indices=g.in_indices,
-        cover=cover,
-        edge_heads=np.asarray(heads, dtype=np.int64),
-        edge_tails=np.asarray(tails, dtype=np.int64),
-        edge_weights=np.asarray(weights, dtype=np.int64),
+        cover=ig.cover_ids,
+        index_indptr=ig.indptr,
+        index_targets=ig.targets,
+        weight_words=ig.packed.words,
+        weight_bits=np.int64(ig.packed.bits),
+        weight_base=np.int64(ig.weight_base),
     )
 
 
@@ -70,8 +71,8 @@ def load_kreach(
     """Load an index written by :func:`save_kreach`.
 
     The embedded graph is reconstructed directly from its CSR arrays (no
-    re-parsing of edges), and the index rows are reassembled verbatim —
-    no BFS runs at load time.
+    re-parsing of edges, invariants validated), and the index arrays are
+    installed verbatim — no BFS and no per-edge Python work at load time.
     """
     with np.load(Path(path)) as data:
         version = int(data["format_version"])
@@ -80,22 +81,33 @@ def load_kreach(
                 f"unsupported k-reach file version {version} "
                 f"(expected {_FORMAT_VERSION})"
             )
-        g = DiGraph(int(data["n"]))
-        g.out_indptr = data["graph_out_indptr"]
-        g.out_indices = data["graph_out_indices"]
-        g.in_indptr = data["graph_in_indptr"]
-        g.in_indices = data["graph_in_indices"]
-        g.m = int(len(g.out_indices))
+        g = DiGraph.from_csr(
+            data["graph_out_indptr"],
+            data["graph_out_indices"],
+            in_indptr=data["graph_in_indptr"],
+            in_indices=data["graph_in_indices"],
+        )
+        if g.n != int(data["n"]):
+            raise ValueError("stored vertex count disagrees with the graph CSR")
         k_raw = int(data["k"])
         k = None if k_raw == _K_UNBOUNDED else k_raw
-        cover = frozenset(int(v) for v in data["cover"])
-        rows: dict[int, dict[int, int]] = {}
-        for u, v, w in zip(
-            data["edge_heads"].tolist(),
-            data["edge_tails"].tolist(),
-            data["edge_weights"].tolist(),
-        ):
-            rows.setdefault(int(u), {})[int(v)] = int(w)
-    return KReachIndex.from_parts(
-        g, k, cover=cover, rows=rows, compress_rows_at=compress_rows_at
+        cover_ids = data["cover"].astype(np.int64)
+        targets = data["index_targets"].astype(np.int64)
+        packed = PackedIntArray.from_words(
+            data["weight_words"], len(targets), bits=int(data["weight_bits"])
+        )
+        ig = IndexGraph(
+            g.n,
+            cover_ids,
+            data["index_indptr"].astype(np.int64),
+            targets,
+            packed,
+            int(data["weight_base"]),
+        ).validate()
+    return KReachIndex.from_index_graph(
+        g,
+        k,
+        cover=frozenset(cover_ids.tolist()),
+        index_graph=ig,
+        compress_rows_at=compress_rows_at,
     )

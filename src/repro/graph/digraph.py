@@ -24,7 +24,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["DiGraph"]
+__all__ = ["DiGraph", "validate_csr"]
 
 # Dtype used for all vertex ids and offsets.  int32 is enough for graphs of
 # up to ~2.1 billion vertices/edges, far beyond the paper's datasets, while
@@ -47,6 +47,38 @@ def _build_csr(
     order = np.lexsort((tails, heads))
     indices = tails[order].astype(_ID_DTYPE, copy=True)
     return indptr, indices
+
+
+def validate_csr(name: str, n: int, indptr: np.ndarray, indices: np.ndarray) -> None:
+    """Structural CSR invariants: monotone offsets, in-range sorted rows.
+
+    ``n`` is the *index universe* (valid ``indices`` values are
+    ``[0, n)``); the row count is whatever ``len(indptr) - 1`` implies,
+    so the same check serves both adjacency CSRs and the index graph's
+    cover-row CSR.  Raises :class:`ValueError` naming ``name`` on the
+    first broken invariant.
+    """
+    if indptr[0] != 0 or indptr[-1] != len(indices):
+        raise ValueError(
+            f"{name}_indptr must start at 0 and end at {len(indices)}"
+        )
+    if np.any(np.diff(indptr) < 0):
+        raise ValueError(f"{name}_indptr must be non-decreasing")
+    if len(indices):
+        if int(indices.min()) < 0 or int(indices.max()) >= n:
+            raise ValueError(f"{name}_indices out of range [0, {n})")
+        # Strictly ascending within each row: a decrease is only legal at
+        # a row boundary (and duplicates are never legal).
+        decreasing = indices[1:] <= indices[:-1]
+        if np.any(decreasing):
+            boundary = np.zeros(len(indices) - 1, dtype=bool)
+            starts = indptr[1:-1]
+            starts = starts[(starts > 0) & (starts < len(indices))]
+            boundary[starts - 1] = True
+            if np.any(decreasing & ~boundary):
+                raise ValueError(
+                    f"{name}_indices must be strictly ascending within each row"
+                )
 
 
 class DiGraph:
@@ -160,14 +192,68 @@ class DiGraph:
         cls,
         out_indptr: np.ndarray,
         out_indices: np.ndarray,
+        *,
+        in_indptr: np.ndarray | None = None,
+        in_indices: np.ndarray | None = None,
     ) -> "DiGraph":
-        """Build from an existing out-adjacency CSR (indices need not be sorted)."""
+        """Build from existing CSR arrays, validating the invariants.
+
+        With only the out-direction given, indices need not be sorted or
+        deduplicated — the graph is rebuilt through the normal edge path
+        and the in-direction derived.  When **both** directions are given
+        (the deserialization fast path), each is validated structurally —
+        offsets start at 0, are monotone, and end at the index count;
+        indices lie in ``[0, n)`` and are strictly ascending within every
+        row; the edge counts agree; and each direction's in/out degree
+        histogram matches the other's offsets — then installed directly
+        with no per-edge work.  The degree cross-check catches arrays
+        from two different graphs; only a permutation *within* matching
+        degree histograms could still slip through (a full transpose
+        cross-check would cost a rebuild).
+        """
+        out_indptr = np.asarray(out_indptr, dtype=np.int64)
         n = len(out_indptr) - 1
-        heads = np.repeat(
-            np.arange(n, dtype=np.int64), np.diff(out_indptr).astype(np.int64)
-        )
-        tails = np.asarray(out_indices, dtype=np.int64)
-        return cls(n, np.stack([heads, tails], axis=1))  # type: ignore[arg-type]
+        if n < 0:
+            raise ValueError("indptr must have at least one entry")
+        if in_indptr is None or in_indices is None:
+            if in_indptr is not None or in_indices is not None:
+                raise ValueError("pass both in_indptr and in_indices, or neither")
+            heads = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(out_indptr)
+            )
+            tails = np.asarray(out_indices, dtype=np.int64)
+            return cls(n, np.stack([heads, tails], axis=1))  # type: ignore[arg-type]
+
+        in_indptr = np.asarray(in_indptr, dtype=np.int64)
+        out_indices = np.asarray(out_indices, dtype=_ID_DTYPE)
+        in_indices = np.asarray(in_indices, dtype=_ID_DTYPE)
+        if len(in_indptr) != n + 1:
+            raise ValueError("in_indptr and out_indptr disagree on vertex count")
+        if len(out_indices) != len(in_indices):
+            raise ValueError("out- and in-direction edge counts disagree")
+        for name, indptr, indices in (
+            ("out", out_indptr, out_indices),
+            ("in", in_indptr, in_indices),
+        ):
+            validate_csr(name, n, indptr, indices)
+        if not np.array_equal(
+            np.bincount(out_indices, minlength=n), np.diff(in_indptr)
+        ) or not np.array_equal(
+            np.bincount(in_indices, minlength=n), np.diff(out_indptr)
+        ):
+            raise ValueError(
+                "in- and out-direction CSRs are not transposes of each other"
+            )
+        g = object.__new__(cls)
+        g.n = n
+        g.m = int(len(out_indices))
+        g.out_indptr, g.out_indices = out_indptr, out_indices
+        g.in_indptr, g.in_indices = in_indptr, in_indices
+        g._labels = None
+        g._label_to_id = None
+        g._out_lists = None
+        g._in_lists = None
+        return g
 
     # ------------------------------------------------------------------
     # Label translation

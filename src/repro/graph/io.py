@@ -69,12 +69,19 @@ def save_npz(g: DiGraph, path: str | os.PathLike) -> None:
 
 
 def load_npz(path: str | os.PathLike) -> DiGraph:
-    """Load a graph previously written by :func:`save_npz`."""
+    """Load a graph previously written by :func:`save_npz`.
+
+    Reassembled through :meth:`DiGraph.from_csr
+    <repro.graph.digraph.DiGraph.from_csr>`, which validates the CSR
+    invariants instead of trusting the file blindly.
+    """
     with np.load(Path(path)) as data:
-        g = DiGraph(int(data["n"]))
-        g.out_indptr = data["out_indptr"]
-        g.out_indices = data["out_indices"]
-        g.in_indptr = data["in_indptr"]
-        g.in_indices = data["in_indices"]
-        g.m = int(len(g.out_indices))
+        g = DiGraph.from_csr(
+            data["out_indptr"],
+            data["out_indices"],
+            in_indptr=data["in_indptr"],
+            in_indices=data["in_indices"],
+        )
+        if g.n != int(data["n"]):
+            raise ValueError("stored vertex count disagrees with the CSR arrays")
     return g

@@ -49,3 +49,50 @@ class TestMain:
               "--datasets", "GO, Nasa"])
         out = capsys.readouterr().out
         assert "GO" in out and "Nasa" in out
+
+
+class TestJsonOutput:
+    def test_json_payload_written(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "results.json"
+        rc = main(["table8", "--scale", "0.03", "--queries", "100",
+                   "--datasets", "GO", "--json", str(target)])
+        capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(target.read_text())
+        assert payload["config"]["datasets"] == ["GO"]
+        assert payload["config"]["scale"] == 0.03
+        [record] = payload["experiments"]
+        assert record["experiment"] == "table8"
+        assert record["elapsed_s"] >= 0
+        [table] = record["tables"]
+        assert table["columns"][0] == "dataset"
+        assert table["rows"][0]["dataset"] == "GO"
+
+    def test_json_rows_are_json_native(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "build.json"
+        main(["build", "--scale", "0.03", "--datasets", "GO",
+              "--json", str(target)])
+        capsys.readouterr()
+        rows = json.loads(target.read_text())["experiments"][0]["tables"][0]["rows"]
+        total = next(r for r in rows if r["dataset"] == "TOTAL")
+        assert isinstance(total["serial ms"], float)
+        assert isinstance(total["blocked ms"], float)
+        assert all(r["agree"] == "yes" for r in rows)
+
+
+class TestWorkersFlag:
+    def test_default_and_parse(self):
+        assert build_parser().parse_args(["table2"]).workers == 1
+        assert build_parser().parse_args(["table2", "--workers", "4"]).workers == 4
+
+    def test_workers_routed_to_config(self, capsys):
+        # Table 3 construction goes through build_kreach_parallel when
+        # --workers > 1; answers must be unchanged.
+        rc = main(["table3-4-5", "--scale", "0.03", "--queries", "100",
+                   "--datasets", "GO", "--workers", "2"])
+        capsys.readouterr()
+        assert rc == 0

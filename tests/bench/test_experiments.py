@@ -110,3 +110,16 @@ class TestCompressionAblation:
         assert len(table.rows) == 2
         for row in table.rows:
             assert row["plain MB"] is not None
+
+
+class TestBuildExperiment:
+    def test_run_build_smoke(self):
+        from repro.bench.experiments import run_build
+
+        config = SuiteConfig(datasets=("GO",), scale=0.03, queries=50)
+        table = run_build(config)
+        assert table.rows[-1]["dataset"] == "TOTAL"
+        # 3 k values + the aggregate row.
+        assert len(table.rows) == 4
+        assert all(row["agree"] == "yes" for row in table.rows)
+        assert "build" in table.title.lower() or "Build" in table.title

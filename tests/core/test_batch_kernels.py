@@ -48,13 +48,13 @@ class TestAsPairArrays:
 
 class TestKeyedRowStore:
     def test_empty_store(self):
-        store = KeyedRowStore({}, n=4)
+        store = KeyedRowStore.from_rows({}, n=4)
         assert len(store) == 0
         got = store.lookup(np.array([0, 1]), np.array([1, 2]))
         assert (got == MISSING_WEIGHT).all()
 
     def test_empty_probe(self):
-        store = KeyedRowStore({0: {1: 2}}, n=4)
+        store = KeyedRowStore.from_rows({0: {1: 2}}, n=4)
         assert store.lookup(np.empty(0, np.int64), np.empty(0, np.int64)).shape == (0,)
 
     def test_mixed_plain_and_compressed(self):
@@ -63,7 +63,7 @@ class TestKeyedRowStore:
             5: CompressedRow({1: 3, 4: 1, 7: 3}, universe=8),
             2: {0: 1},
         }
-        store = KeyedRowStore(rows, n=8)
+        store = KeyedRowStore.from_rows(rows, n=8)
         assert len(store) == 6
         u = np.array([0, 0, 5, 5, 2, 3])
         v = np.array([3, 1, 7, 5, 0, 0])
@@ -75,7 +75,7 @@ class TestKeyedRowStore:
         """Rows inserted with descending targets still look up correctly
         (the sortedness fast path must not skip a needed argsort)."""
         row = dict(zip(range(9, -1, -1), range(10)))  # 9->0, 8->1, ...
-        store = KeyedRowStore({3: row, 1: {5: 7}}, n=10)
+        store = KeyedRowStore.from_rows({3: row, 1: {5: 7}}, n=10)
         got = store.lookup(np.array([3, 3, 1]), np.array([9, 0, 5]))
         assert got.tolist() == [0, 9, 7]
 

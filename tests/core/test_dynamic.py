@@ -152,3 +152,83 @@ class TestRandomSequences:
         for s in range(n):
             for t in range(n):
                 assert dyn.query(s, t) == static.query(s, t)
+
+
+class TestFreshStaticDifferential:
+    """Satellite invariant: after randomized interleaved insert/delete
+    sequences the dynamic index answers exactly like a KReachIndex built
+    from scratch on the current graph (not just like brute force)."""
+
+    @pytest.mark.parametrize("k", [2, 3, 5, None])
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_interleaved_matches_fresh_static(self, k, seed):
+        rng = np.random.default_rng(seed)
+        n = 16
+        g = gnp_digraph(n, 0.1, seed=seed)
+        dyn = DynamicKReachIndex(g, k)
+        edges = list(g.edges())
+        for step in range(35):
+            if edges and rng.random() < 0.45:
+                u, v = edges.pop(int(rng.integers(0, len(edges))))
+                dyn.delete_edge(u, v)
+            else:
+                u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+                if u != v and (u, v) not in edges:
+                    dyn.insert_edge(u, v)
+                    edges.append((u, v))
+            if step % 7 == 6:
+                static = KReachIndex(dyn.to_digraph(), k)
+                for s in range(n):
+                    for t in range(n):
+                        assert dyn.query(s, t) == static.query(s, t), (
+                            k, seed, step, s, t,
+                        )
+
+
+class TestFreeze:
+    def test_freeze_matches_dynamic_and_fresh(self):
+        rng = np.random.default_rng(42)
+        n = 18
+        dyn = DynamicKReachIndex(gnp_digraph(n, 0.08, seed=42), 3)
+        for _ in range(30):
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u == v:
+                continue
+            if rng.random() < 0.3:
+                dyn.delete_edge(u, v)
+            else:
+                dyn.insert_edge(u, v)
+        frozen = dyn.freeze()
+        fresh = KReachIndex(dyn.to_digraph(), 3)
+        for s in range(n):
+            for t in range(n):
+                assert frozen.query(s, t) == dyn.query(s, t), (s, t)
+                assert frozen.query(s, t) == fresh.query(s, t), (s, t)
+
+    def test_freeze_uses_dynamic_cover_and_array_path(self):
+        dyn = DynamicKReachIndex(path_graph(6), 2)
+        dyn.insert_edge(5, 0)
+        frozen = dyn.freeze()
+        assert frozen.cover == frozenset(dyn._cover)
+        assert frozen.edge_count == dyn.edge_count
+        # The frozen index carries a canonical IndexGraph (array storage).
+        assert frozen.index_graph.edge_count == dyn.edge_count
+
+    @pytest.mark.parametrize("k", [0, None])
+    def test_freeze_edge_modes(self, k):
+        dyn = DynamicKReachIndex(path_graph(4), k)
+        frozen = dyn.freeze()
+        for s in range(4):
+            for t in range(4):
+                assert frozen.query(s, t) == dyn.query(s, t)
+
+    def test_frozen_index_serializes(self, tmp_path):
+        from repro.core.serialize import load_kreach, save_kreach
+
+        dyn = DynamicKReachIndex(gnp_digraph(12, 0.2, seed=7), 3)
+        dyn.insert_edge(0, 11)
+        frozen = dyn.freeze()
+        path = tmp_path / "frozen.npz"
+        save_kreach(frozen, path)
+        loaded = load_kreach(path)
+        assert loaded.weighted_edges() == frozen.weighted_edges()

@@ -1,0 +1,197 @@
+"""IndexGraph substrate tests.
+
+The central invariant of the CSR-native refactor: the **serial**
+per-source builder, the **blocked** bit-parallel MS-BFS builder, and the
+**process-parallel** builder all produce bit-identical
+:class:`~repro.core.index_graph.IndexGraph` contents for every ``k``
+(k=None included), on randomized graphs.  Plus unit coverage for the
+structure's views and conversion helpers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index_graph import (
+    IndexGraph,
+    cover_triples_blocked,
+    cover_triples_serial,
+)
+from repro.core.kreach import KReachIndex
+from repro.core.parallel import build_kreach_parallel
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnp_digraph, paper_example_graph, path_graph
+
+
+class TestIndexGraphUnit:
+    def test_from_rows_round_trip(self):
+        rows = {1: {4: 2, 2: 1}, 4: {1: 3}}
+        ig = IndexGraph.from_rows(6, [1, 4, 5], rows)
+        assert ig.cover_size == 3  # cover vertex 5 keeps an (empty) row
+        assert ig.edge_count == 3
+        assert ig.rows_dict() == rows
+        assert ig.weighted_edges() == [(1, 2, 1), (1, 4, 2), (4, 1, 3)]
+
+    def test_weight_of(self):
+        ig = IndexGraph.from_rows(8, [0, 3], {0: {3: 2, 5: 1}})
+        assert ig.weight_of(0, 3) == 2
+        assert ig.weight_of(0, 4) is None
+        assert ig.weight_of(3, 0) is None  # empty row
+        assert ig.weight_of(7, 0) is None  # not in cover
+        assert ig.weight_of(-1, 0) is None
+
+    def test_keys_sorted_and_flat_agree(self):
+        rng = np.random.default_rng(5)
+        g = gnp_digraph(40, 0.1, seed=5)
+        idx = KReachIndex(g, 4)
+        ig = idx.index_graph
+        keys = ig.keys()
+        assert bool(np.all(keys[:-1] < keys[1:]))
+        flat = ig.flat()
+        for u, v, w in ig.weighted_edges():
+            assert flat[u * g.n + v] == w
+        assert len(flat) == ig.edge_count
+
+    def test_quantization_floor(self):
+        src = np.array([0, 0, 0])
+        dst = np.array([1, 2, 3])
+        dist = np.array([1, 4, 5])
+        ig = IndexGraph.from_triples(
+            4, [0, 1, 2, 3], src, dst, dist, floor=3, weight_bits=2
+        )
+        assert [w for _, _, w in ig.weighted_edges()] == [3, 4, 5]
+        assert ig.packed.to_list() == [0, 1, 2]  # stored as w - floor
+
+    def test_zero_weights(self):
+        ig = IndexGraph.from_triples(
+            3,
+            [0, 1],
+            np.array([0]),
+            np.array([1]),
+            np.array([7]),
+            zero_weights=True,
+            weight_bits=1,
+        )
+        assert ig.weighted_edges() == [(0, 1, 0)]
+
+    def test_source_outside_cover_rejected(self):
+        with pytest.raises(ValueError, match="cover"):
+            IndexGraph.from_triples(
+                4, [0], np.array([2]), np.array([0]), np.array([1])
+            )
+
+    def test_target_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            IndexGraph.from_triples(
+                4, [0], np.array([0]), np.array([9]), np.array([1])
+            )
+
+    def test_empty(self):
+        ig = IndexGraph.from_rows(5, [], {})
+        assert ig.cover_size == 0 and ig.edge_count == 0
+        assert ig.weighted_edges() == []
+        assert ig.flat() == {}
+
+    def test_equality(self):
+        a = IndexGraph.from_rows(6, [1, 4], {1: {4: 2}})
+        b = IndexGraph.from_rows(6, [1, 4], {1: {4: 2}})
+        c = IndexGraph.from_rows(6, [1, 4], {1: {4: 3}})
+        assert a == b
+        assert a != c
+
+
+class TestTripleProducersAgree:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5, None])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_serial_equals_blocked(self, k, seed):
+        g = gnp_digraph(70, 0.06, seed=seed)
+        idx = KReachIndex(g, 2)  # any cover works; reuse its pick
+        cover = idx.cover
+        s1 = sorted(zip(*(a.tolist() for a in cover_triples_serial(g, cover, k))))
+        s2 = sorted(zip(*(a.tolist() for a in cover_triples_blocked(g, cover, k))))
+        assert s1 == s2
+
+    def test_wide_cover_crosses_block_boundary(self):
+        # >64 sources forces multiple uint64 blocks through the kernel.
+        g = gnp_digraph(200, 0.03, seed=9)
+        cover = frozenset(range(0, 200, 2))  # 100 sources
+        s1 = sorted(zip(*(a.tolist() for a in cover_triples_serial(g, cover, 4))))
+        s2 = sorted(zip(*(a.tolist() for a in cover_triples_blocked(g, cover, 4))))
+        assert s1 == s2
+
+
+class TestBuilderDifferential:
+    """Serial, blocked, and parallel builders: identical IndexGraphs."""
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5, None])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_randomized_graphs(self, k, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(30, 90))
+        g = gnp_digraph(n, float(rng.uniform(0.02, 0.12)), seed=100 + seed)
+        serial = KReachIndex(g, k, builder="serial")
+        blocked = KReachIndex(g, k, cover=serial.cover, builder="blocked")
+        parallel = build_kreach_parallel(g, k, cover=serial.cover, workers=2)
+        assert serial.index_graph == blocked.index_graph, (k, seed)
+        assert blocked.index_graph == parallel.index_graph, (k, seed)
+        # And the assembled indexes answer identically.
+        pairs = rng.integers(0, g.n, size=(200, 2))
+        assert np.array_equal(
+            serial.query_batch(pairs), blocked.query_batch(pairs)
+        )
+
+    def test_paper_example(self):
+        g = paper_example_graph()
+        ids = {lab: g.vertex_id(lab) for lab in "abcdefghij"}
+        cover = frozenset(ids[x] for x in "bdgi")
+        for k in (3, None):
+            serial = KReachIndex(g, k, cover=cover, builder="serial")
+            blocked = KReachIndex(g, k, cover=cover, builder="blocked")
+            assert serial.index_graph == blocked.index_graph
+
+    def test_path_graph_edges(self):
+        g = path_graph(6)
+        serial = KReachIndex(g, 2, builder="serial")
+        blocked = KReachIndex(g, 2, cover=serial.cover, builder="blocked")
+        assert serial.weighted_edges() == blocked.weighted_edges()
+
+    def test_unknown_builder_rejected(self):
+        with pytest.raises(ValueError, match="builder"):
+            KReachIndex(path_graph(3), 2, builder="magic")
+
+    def test_disconnected_and_empty(self):
+        g = DiGraph(5)  # no edges: empty cover, empty index
+        for builder in ("serial", "blocked"):
+            idx = KReachIndex(g, 3, builder=builder)
+            assert idx.edge_count == 0
+            assert idx.query(0, 0) and not idx.query(0, 1)
+
+
+class TestSharedStorageConsumers:
+    def test_keyed_store_zero_copy_view(self):
+        g = gnp_digraph(50, 0.08, seed=11)
+        idx = KReachIndex(g, 3).prepare_batch()
+        store = idx._keyed()
+        assert store._keys is idx.index_graph.keys()
+
+    def test_wah_view_matches_csr(self):
+        g = gnp_digraph(40, 0.2, seed=12)
+        plain = KReachIndex(g, 4)
+        packed = KReachIndex(g, 4, cover=plain.cover, compress_rows_at=2)
+        assert plain.weighted_edges() == packed.weighted_edges()
+        for s in range(g.n):
+            for t in range(0, g.n, 3):
+                assert plain.query(s, t) == packed.query(s, t)
+
+
+class TestDuplicateTriples:
+    def test_duplicate_src_dst_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            IndexGraph.from_triples(
+                5, [0], np.array([0, 0]), np.array([1, 1]), np.array([1, 2])
+            )
+
+    def test_for_kreach_goes_through_same_guard(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            IndexGraph.for_kreach(
+                4, [0], np.array([0, 0]), np.array([2, 2]), np.array([1, 1]), 3
+            )

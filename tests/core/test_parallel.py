@@ -3,28 +3,30 @@
 import numpy as np
 import pytest
 
+from repro.core.index_graph import IndexGraph
 from repro.core.kreach import KReachIndex
-from repro.core.parallel import build_kreach_parallel, parallel_khop_rows
+from repro.core.parallel import build_kreach_parallel, parallel_khop_triples
 from repro.graph.generators import gnp_digraph, path_graph
 
 
-class TestParallelRows:
+class TestParallelTriples:
     @pytest.mark.parametrize("k", [2, 5, None])
     @pytest.mark.parametrize("workers", [1, 2])
-    def test_rows_match_serial(self, k, workers):
+    def test_triples_match_serial(self, k, workers):
         g = gnp_digraph(60, 0.06, seed=7)
-        serial = KReachIndex(g, k)
-        rows = parallel_khop_rows(g, serial.cover, k, workers=workers)
-        serial_rows = {u: dict(serial._rows[u]) for u in serial._rows}
-        assert rows == serial_rows
+        serial = KReachIndex(g, k, builder="serial")
+        triples = parallel_khop_triples(g, serial.cover, k, workers=workers)
+        ig = IndexGraph.for_kreach(g.n, serial.cover, *triples, k)
+        assert ig == serial.index_graph
 
     def test_workers_validation(self):
         with pytest.raises(ValueError):
-            parallel_khop_rows(path_graph(4), {1, 2}, 2, workers=0)
+            parallel_khop_triples(path_graph(4), {1, 2}, 2, workers=0)
 
     def test_empty_cover(self):
         g = path_graph(1)
-        assert parallel_khop_rows(g, set(), 3, workers=2) == {}
+        src, dst, dist = parallel_khop_triples(g, set(), 3, workers=2)
+        assert len(src) == len(dst) == len(dist) == 0
 
 
 class TestBuildParallel:
@@ -33,6 +35,7 @@ class TestBuildParallel:
         g = gnp_digraph(50, 0.08, seed=8)
         serial = KReachIndex(g, k)
         parallel = build_kreach_parallel(g, k, workers=2, cover=serial.cover)
+        assert parallel.index_graph == serial.index_graph
         rng = np.random.default_rng(0)
         for _ in range(300):
             s, t = int(rng.integers(0, g.n)), int(rng.integers(0, g.n))

@@ -71,3 +71,27 @@ class TestRoundTrip:
         np.savez_compressed(path, **data)
         with pytest.raises(ValueError, match="version"):
             load_kreach(path)
+
+
+class TestLoadValidation:
+    def test_corrupted_index_arrays_rejected(self, tmp_path):
+        g = gnp_digraph(20, 0.15, seed=6)
+        index = KReachIndex(g, 3)
+        path = tmp_path / "index.npz"
+        save_kreach(index, path)
+        data = dict(np.load(path))
+        data["index_targets"] = data["index_targets"][::-1].copy()  # unsorted rows
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="ascending|indptr|range"):
+            load_kreach(path)
+
+    def test_truncated_indptr_rejected(self, tmp_path):
+        g = gnp_digraph(20, 0.15, seed=6)
+        index = KReachIndex(g, 3)
+        path = tmp_path / "index.npz"
+        save_kreach(index, path)
+        data = dict(np.load(path))
+        data["index_indptr"] = data["index_indptr"][:-2].copy()
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError):
+            load_kreach(path)

@@ -162,3 +162,88 @@ class TestDunder:
     def test_storage_bytes_positive(self):
         g = DiGraph(10, [(i, i + 1) for i in range(9)])
         assert g.storage_bytes() > 0
+
+
+class TestFromCsrValidated:
+    """from_csr with both directions: install-fast, but validate invariants."""
+
+    def test_dual_direction_round_trip(self):
+        g = DiGraph(5, [(0, 1), (0, 4), (2, 1), (3, 2)])
+        h = DiGraph.from_csr(
+            g.out_indptr,
+            g.out_indices,
+            in_indptr=g.in_indptr,
+            in_indices=g.in_indices,
+        )
+        assert g == h
+        assert h.m == g.m
+        assert [int(v) for v in h.in_neighbors(1)] == [0, 2]
+
+    def test_partial_direction_pair_rejected(self):
+        g = DiGraph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="both"):
+            DiGraph.from_csr(g.out_indptr, g.out_indices, in_indptr=g.in_indptr)
+
+    def test_bad_indptr_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="indptr"):
+            DiGraph.from_csr(
+                np.array([0, 2, 1]),  # non-monotone
+                np.array([1, 0], dtype=np.int32),
+                in_indptr=np.array([0, 1, 2]),
+                in_indices=np.array([1, 0], dtype=np.int32),
+            )
+        with pytest.raises(ValueError, match="indptr"):
+            DiGraph.from_csr(
+                np.array([0, 1, 3]),  # ends past the index array
+                np.array([1, 0], dtype=np.int32),
+                in_indptr=np.array([0, 1, 2]),
+                in_indices=np.array([1, 0], dtype=np.int32),
+            )
+
+    def test_out_of_range_indices_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="range"):
+            DiGraph.from_csr(
+                np.array([0, 1, 2]),
+                np.array([5, 0], dtype=np.int32),
+                in_indptr=np.array([0, 1, 2]),
+                in_indices=np.array([1, 0], dtype=np.int32),
+            )
+
+    def test_unsorted_row_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="ascending"):
+            DiGraph.from_csr(
+                np.array([0, 2, 2, 2]),
+                np.array([2, 1], dtype=np.int32),  # descending within row 0
+                in_indptr=np.array([0, 0, 1, 2]),
+                in_indices=np.array([0, 0], dtype=np.int32),
+            )
+
+    def test_mismatched_edge_counts_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="edge counts"):
+            DiGraph.from_csr(
+                np.array([0, 1, 1]),
+                np.array([1], dtype=np.int32),
+                in_indptr=np.array([0, 0, 0]),
+                in_indices=np.array([], dtype=np.int32),
+            )
+
+    def test_non_transpose_directions_rejected(self):
+        import numpy as np
+
+        a = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+        b = DiGraph(4, [(3, 0), (3, 1), (3, 2)])  # same n and m
+        with pytest.raises(ValueError, match="transpose"):
+            DiGraph.from_csr(
+                a.out_indptr,
+                a.out_indices,
+                in_indptr=b.in_indptr,
+                in_indices=b.in_indices,
+            )

@@ -245,3 +245,81 @@ class TestReachesWithinSmall:
             assert reaches_within_small(g, s, t, k) == reaches_within_bfs(
                 g, s, t, k
             ), (s, t, k)
+
+
+class TestBfsDistancesBlocked:
+    """The bit-parallel multi-source kernel vs per-source ground truth."""
+
+    @pytest.mark.parametrize("k", [0, 1, 3, None])
+    @pytest.mark.parametrize("direction", ["out", "in"])
+    def test_matches_per_source(self, k, direction):
+        from repro.graph.traversal import bfs_distances_blocked
+
+        g = gnp_digraph(120, 0.04, seed=21)
+        sources = np.arange(0, g.n, 3, dtype=np.int64)
+        src, dst, dist = bfs_distances_blocked(g, sources, k=k, direction=direction)
+        got = dict(zip(zip(src.tolist(), dst.tolist()), dist.tolist()))
+        assert len(got) == len(src)  # no duplicate (src, dst) pairs
+        want = {}
+        for u in sources.tolist():
+            d = bfs_distances(g, u, k=k, direction=direction)
+            for v in np.flatnonzero(d != UNREACHED).tolist():
+                if v != u:
+                    want[(u, v)] = int(d[v])
+        assert got == want
+
+    def test_more_than_64_sources(self):
+        from repro.graph.traversal import bfs_distances_blocked
+
+        g = gnp_digraph(150, 0.03, seed=22)
+        sources = np.arange(g.n, dtype=np.int64)  # 3 blocks
+        src, dst, dist = bfs_distances_blocked(g, sources, k=2)
+        for u, v, d in zip(src.tolist()[:500], dst.tolist()[:500], dist.tolist()[:500]):
+            assert int(bfs_distances(g, u, k=2)[v]) == d
+
+    def test_emit_mask_filters_reports_not_traversal(self):
+        from repro.graph.traversal import bfs_distances_blocked
+
+        g = path_graph(5)  # 0 -> 1 -> 2 -> 3 -> 4
+        emit = np.zeros(g.n, dtype=bool)
+        emit[4] = True  # only the far endpoint is reportable
+        src, dst, dist = bfs_distances_blocked(
+            g, np.array([0], dtype=np.int64), emit=emit
+        )
+        # The walk crossed 1..3 (not emitted) to reach 4 at distance 4.
+        assert list(zip(src.tolist(), dst.tolist(), dist.tolist())) == [(0, 4, 4)]
+
+    def test_source_never_reports_itself(self):
+        from repro.graph.traversal import bfs_distances_blocked
+
+        g = cycle_graph(6)  # every vertex reaches itself around the cycle
+        src, dst, _ = bfs_distances_blocked(g, np.arange(6, dtype=np.int64))
+        assert not np.any(src == dst)
+
+    def test_empty_sources(self):
+        from repro.graph.traversal import bfs_distances_blocked
+
+        g = path_graph(4)
+        src, dst, dist = bfs_distances_blocked(g, np.empty(0, dtype=np.int64))
+        assert len(src) == len(dst) == len(dist) == 0
+
+    def test_validation(self):
+        from repro.graph.traversal import bfs_distances_blocked
+
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            bfs_distances_blocked(g, np.array([9]))
+        with pytest.raises(ValueError):
+            bfs_distances_blocked(g, np.array([0]), k=-1)
+        with pytest.raises(ValueError):
+            bfs_distances_blocked(g, np.array([0]), emit=np.zeros(2, dtype=bool))
+
+    def test_duplicate_sources_collapsed(self):
+        from repro.graph.traversal import bfs_distances_blocked
+
+        g = path_graph(5)
+        src, dst, dist = bfs_distances_blocked(
+            g, np.array([1, 1, 1, 3], dtype=np.int64), k=2
+        )
+        triples = sorted(zip(src.tolist(), dst.tolist(), dist.tolist()))
+        assert triples == [(1, 2, 1), (1, 3, 2), (3, 4, 1)]

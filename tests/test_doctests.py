@@ -17,6 +17,7 @@ import repro.bitsets.bitset
 import repro.bitsets.packed
 import repro.bitsets.wah
 import repro.core.hkreach
+import repro.core.index_graph
 import repro.core.kreach
 import repro.core.rowstore
 import repro.graph.builder
@@ -28,6 +29,7 @@ MODULES = [
     repro.bitsets.bitset,
     repro.bitsets.wah,
     repro.bitsets.packed,
+    repro.core.index_graph,
     repro.core.kreach,
     repro.core.batch,
     repro.core.hkreach,
