@@ -10,15 +10,25 @@ demonstrates.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.baselines.base import ReachabilityIndex
+from repro.core.batch import as_pair_arrays
 from repro.graph.digraph import DiGraph
-from repro.graph.traversal import bidirectional_reaches_within
+from repro.graph.traversal import bidirectional_reaches_within, bulk_reaches_within
 
 __all__ = ["BidirectionalBfsIndex"]
 
 
 class BidirectionalBfsIndex(ReachabilityIndex):
-    """Meet-in-the-middle BFS; zero construction cost, zero storage."""
+    """Meet-in-the-middle BFS; zero construction cost, zero storage.
+
+    Scalar queries meet in the middle; batch queries route through the
+    blocked bit-parallel MS-BFS kernel (one-sided, 64 shared sources per
+    sweep), which amortizes better than per-pair bidirectional searches
+    under bulk traffic.  Both compute the same predicate, so batch
+    answers are bit-identical to the scalar method.
+    """
 
     name = "BiBFS"
 
@@ -36,6 +46,18 @@ class BidirectionalBfsIndex(ReachabilityIndex):
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
         return bidirectional_reaches_within(self.graph, s, t, k)
+
+    def reaches_batch(self, pairs) -> np.ndarray:
+        """Bulk :meth:`reaches` through the blocked MS-BFS kernel."""
+        s, t = as_pair_arrays(pairs, self.graph.n)
+        return bulk_reaches_within(self.graph, s, t, None)
+
+    def reaches_within_batch(self, pairs, k: int) -> np.ndarray:
+        """Bulk :meth:`reaches_within` through the blocked MS-BFS kernel."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        s, t = as_pair_arrays(pairs, self.graph.n)
+        return bulk_reaches_within(self.graph, s, t, k)
 
     def storage_bytes(self) -> int:
         """No index structures at all."""

@@ -47,6 +47,7 @@ from repro.core import (
     vertex_cover_2approx,
 )
 from repro.datasets import DATASET_NAMES, paper_tables, spec
+from repro.graph.generators import celebrity_crossfire_digraph
 from repro.graph.stats import shortest_path_stats, summarize
 from repro.workloads import case_distribution, celebrity_pairs, random_pairs
 
@@ -84,6 +85,7 @@ class SuiteConfig:
     bfs_queries: int = 1_000  # µ-BFS is orders slower; subsample and scale
     seed: int = 7
     workers: int = 1  # >1 routes k-reach construction through the pool
+    engine: str = "auto"  # query engine for the k-reach batch columns
     _cache: dict = field(default_factory=dict, repr=False)
 
     def graph(self, name: str):
@@ -215,11 +217,13 @@ def run_table3_4_5(config: SuiteConfig) -> tuple[Table, Table, Table]:
                 continue
             row3[label] = 1e3 * (outcome.seconds or 0.0)
             row4[label] = fmt_mb(outcome.storage_bytes)
-            query_batch = (
-                outcome.index.reaches_batch
-                if label != "n-reach"
-                else outcome.index.prepare_batch().query_batch
-            )
+            if label != "n-reach":
+                query_batch = outcome.index.reaches_batch
+            else:
+                idx = outcome.index.prepare_batch()
+                query_batch = lambda p, _i=idx: _i.query_batch(
+                    p, engine=config.engine
+                )
             timing = time_batch_queries(query_batch, pairs)
             row5[label] = fmt_us(timing.us_per_query)
         t3.add_row(row3)
@@ -248,11 +252,13 @@ def run_table6(config: SuiteConfig) -> Table:
                 continue
             metric_values["indexing_time"][label] = outcome.seconds or 0.0
             metric_values["index_size"][label] = float(outcome.storage_bytes or 0)
-            query_batch = (
-                outcome.index.reaches_batch
-                if label != "n-reach"
-                else outcome.index.prepare_batch().query_batch
-            )
+            if label != "n-reach":
+                query_batch = outcome.index.reaches_batch
+            else:
+                idx = outcome.index.prepare_batch()
+                query_batch = lambda p, _i=idx: _i.query_batch(
+                    p, engine=config.engine
+                )
             metric_values["query_time"][label] = time_batch_queries(
                 query_batch, pairs
             ).us_per_query
@@ -305,7 +311,10 @@ def run_table7(config: SuiteConfig) -> Table:
                          (mu, "mu-reach"), (None, "n-reach")):
             idx = KReachIndex(g, k, cover=cover).prepare_batch()
             row[label] = fmt_us(
-                time_batch_queries(idx.query_batch, pairs).us_per_query
+                time_batch_queries(
+                    lambda p, _i=idx: _i.query_batch(p, engine=config.engine),
+                    pairs,
+                ).us_per_query
             )
         bfs = BfsIndex(g)
         row["mu-BFS"] = fmt_us(
@@ -462,43 +471,122 @@ def timed_build(g, k, cover, builder: str):
 
 
 def run_throughput(config: SuiteConfig) -> Table:
-    """Bulk-query throughput: the vectorized batch engine vs the scalar loop.
+    """Bulk-query throughput: scalar loop vs PR-2 batch path vs bitset join.
 
-    Not a paper table — this serves the ROADMAP's serving goal.  The
-    paper's random-pair workload (§6.2.2) is pushed through
-    ``KReachIndex.query_batch`` in one call, with the scalar per-pair loop
-    as the reference for both latency and answers; "agree" cross-checks
-    the two engines' positive counts so a silent de-vectorization or
-    divergence shows up in the table itself.
+    Not a paper table — this serves the ROADMAP's serving goal.  Every
+    row pushes one workload through three engines that must agree bit for
+    bit: the per-pair scalar loop, the previous batch path ("prev":
+    chunked cross products with the hub spill for k-reach, the memoized
+    Algorithm-3 walk for (h,k)-reach), and the bitset-join engine.  The
+    per-case columns time the bitset engine on each Algorithm-2/3 case
+    subset, exposing where the join pays off (Case 4, and Cases 2–4 for
+    (h,k)-reach).  The HubStress rows run the §1 celebrity×celebrity
+    workload on :func:`~repro.graph.generators.celebrity_crossfire_digraph`,
+    where every pair is an uncovered hub×hub Case 4 — the scenario that
+    used to route through the scalar spill.  The TOTAL row aggregates
+    wall-clock across rows; CI gates ``bitset >= scalar`` on it exactly
+    like the build experiment gates blocked vs serial.
     """
     table = Table(
-        f"Throughput — batch vs scalar k-reach query engine "
-        f"(scale={config.scale}, {config.queries} pairs per cell)",
-        ["dataset", "k", "scalar µs/q", "batch µs/q", "speedup",
-         "batch Mq/s", "agree"],
-        caption="agree = both engines report the same positive count.",
+        f"Throughput — query engines (scale={config.scale}, "
+        f"{config.queries} pairs per row, {config.bfs_queries} for HubStress)",
+        ["dataset", "index", "k", "scalar µs/q", "prev µs/q", "bitset µs/q",
+         "c1 µs", "c2 µs", "c3 µs", "c4 µs", "speedup", "agree"],
+        caption=(
+            "scalar = per-pair Python loop; prev = the pre-bitset batch "
+            "engine (chunked cross products + hub spill for k-reach, "
+            "memoized scalar walk for (h,k)-reach); bitset = the "
+            "bitset-join engine (auto memory gate); cN = bitset µs/q on "
+            "the Case-N subset ('-' when the workload has <10 such "
+            "pairs); speedup = scalar/bitset; agree = all three engines "
+            "report the same positive count.  The TOTAL row holds total "
+            "milliseconds per engine across all rows."
+        ),
     )
+    totals = {"scalar": 0.0, "prev": 0.0, "bitset": 0.0}
+    all_agree = True
+
+    def add_row(dataset, index_label, k, idx, pairs, prev_engine) -> None:
+        nonlocal all_agree
+        scalar = time_queries(idx.query, pairs)
+        prev = time_batch_queries(
+            lambda p: idx.query_batch(p, engine=prev_engine), pairs
+        )
+        bitset = time_batch_queries(
+            lambda p: idx.query_batch(p, engine="auto"), pairs
+        )
+        agree = scalar.positives == prev.positives == bitset.positives
+        all_agree &= agree
+        totals["scalar"] += scalar.seconds
+        totals["prev"] += prev.seconds
+        totals["bitset"] += bitset.seconds
+        row: dict[str, object] = {
+            "dataset": dataset,
+            "index": index_label,
+            "k": "n" if k is None else k,
+            "scalar µs/q": fmt_us(scalar.us_per_query),
+            "prev µs/q": fmt_us(prev.us_per_query),
+            "bitset µs/q": fmt_us(bitset.us_per_query),
+            "speedup": (
+                f"{scalar.us_per_query / max(bitset.us_per_query, 1e-9):.1f}x"
+            ),
+            "agree": "yes" if agree else "NO",
+        }
+        cases = idx.query_case_batch(pairs)
+        for case in (1, 2, 3, 4):
+            sub = pairs[cases == case]
+            row[f"c{case} µs"] = (
+                fmt_us(
+                    time_batch_queries(
+                        lambda p: idx.query_batch(p, engine="auto"), sub
+                    ).us_per_query
+                )
+                if len(sub) >= 10
+                else None
+            )
+        table.add_row(row)
+
     for name in config.datasets:
         g = config.graph(name)
         pairs = config.pairs(name)
         cover = vertex_cover_2approx(g)
         for k in (2, 6, None):
             idx = KReachIndex(g, k, cover=cover).prepare_batch()
-            scalar = time_queries(idx.query, pairs)
-            batch = time_batch_queries(idx.query_batch, pairs)
-            table.add_row(
-                {
-                    "dataset": name,
-                    "k": "n" if k is None else k,
-                    "scalar µs/q": fmt_us(scalar.us_per_query),
-                    "batch µs/q": fmt_us(batch.us_per_query),
-                    "speedup": (
-                        f"{scalar.us_per_query / max(batch.us_per_query, 1e-9):.1f}x"
-                    ),
-                    "batch Mq/s": f"{batch.count / max(batch.seconds, 1e-12) / 1e6:.2f}",
-                    "agree": "yes" if scalar.positives == batch.positives else "NO",
-                }
-            )
+            add_row(name, "k-reach", k, idx, pairs, "chunked")
+        cover2 = hhop_vertex_cover(g, 2, prune=False)
+        for k in (6, None):
+            hidx = HKReachIndex(g, 2, k, cover=cover2).prepare_batch()
+            add_row(name, "(2,k)-reach", k, hidx, pairs, "scalar")
+
+    # The §1 hub×hub stress: brokers form the cover, celebrities stay
+    # uncovered, every pair is a Case-4 celebrity×celebrity query.
+    brokers = max(64, int(3000 * config.scale))
+    celebs = max(8, int(300 * config.scale))
+    degree = max(8, brokers // 2)
+    hub = celebrity_crossfire_digraph(
+        brokers, celebs, degree, seed=config.seed
+    )
+    hub_cover = frozenset(range(brokers))
+    rng = np.random.default_rng(config.seed)
+    hub_pairs = rng.integers(
+        brokers, hub.n, size=(config.bfs_queries, 2), dtype=np.int64
+    )
+    for k in (2, 6, None):
+        idx = KReachIndex(hub, k, cover=hub_cover).prepare_batch()
+        add_row("HubStress", "k-reach", k, idx, hub_pairs, "chunked")
+
+    table.add_row(
+        {
+            "dataset": "TOTAL",
+            "scalar µs/q": 1e3 * totals["scalar"],
+            "prev µs/q": 1e3 * totals["prev"],
+            "bitset µs/q": 1e3 * totals["bitset"],
+            "speedup": (
+                f"{totals['scalar'] / max(totals['bitset'], 1e-9):.1f}x"
+            ),
+            "agree": "yes" if all_agree else "NO",
+        }
+    )
     return table
 
 

@@ -1,0 +1,142 @@
+"""Packed-uint64 bitset-join kernels for the batch query engines.
+
+The query side of every index in this package ultimately asks set
+questions — "does some out-neighbor of ``s`` link to some in-neighbor of
+``t`` within budget?" — and the scalar escape hatches (hub×hub cross
+products, per-pair Algorithm-3 walks) all stem from answering them one
+element at a time.  This module provides the word-parallel primitives the
+bitset engines are built on: sets of *cover positions* packed 64 per
+uint64 word, so a membership join is a handful of vectorized ``AND`` /
+``OR`` passes instead of a Python loop.
+
+Layout convention: a "bit row" over a universe of ``nbits`` positions is
+a ``words_for(nbits)``-long uint64 array, little-endian within the word
+(position ``p`` lives in word ``p >> 6`` at bit ``p & 63``) — the same
+layout as :class:`~repro.bitsets.bitset.Bitset` and the MS-BFS frontier
+masks in :mod:`repro.graph.traversal`.
+
+All kernels are allocation-bounded: the fan-out helpers chunk their
+temporaries to at most ``max_words`` uint64 words, so a celebrity vertex
+with a graph-sized neighbor list cannot blow up transient memory the way
+the materialized cross products could.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MATRIX_BYTES",
+    "words_for",
+    "matrix_bytes",
+    "bit_matrix",
+    "or_rows_segmented",
+    "and_any",
+    "probe_bits",
+]
+
+#: Default ceiling on the bytes a cover-local link matrix (or the stack of
+#: per-budget matrices for (h,k)-reach) may occupy before the batch
+#: engines fall back to their chunked/scalar paths.  64 MiB admits covers
+#: up to ~23k vertices per matrix — far beyond the paper's datasets.
+DEFAULT_MATRIX_BYTES = 64 << 20
+
+_WORD_BITS = 64
+
+
+def words_for(nbits: int) -> int:
+    """uint64 words needed to hold ``nbits`` bit positions."""
+    return (int(nbits) + _WORD_BITS - 1) >> 6
+
+
+def matrix_bytes(rows: int, nbits: int) -> int:
+    """Bytes of a ``(rows, words_for(nbits))`` uint64 bit matrix."""
+    return int(rows) * words_for(nbits) * 8
+
+
+def _group_bounds(keys: np.ndarray) -> np.ndarray:
+    """Start offsets of each run of equal values in a sorted key array."""
+    new_group = np.empty(len(keys), dtype=bool)
+    new_group[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=new_group[1:])
+    return np.flatnonzero(new_group)
+
+
+def bit_matrix(
+    rows: np.ndarray, cols: np.ndarray, num_rows: int, nbits: int
+) -> np.ndarray:
+    """A ``(num_rows, words)`` uint64 matrix with bit ``cols[i]`` set in
+    row ``rows[i]``.
+
+    Duplicate ``(row, col)`` entries are OR-merged.  Sorted ``(row, col)``
+    input (the natural order of CSR-derived streams) takes a pure
+    reduceat path; unsorted input pays one argsort.
+    """
+    words = words_for(nbits)
+    out = np.zeros((num_rows, words), dtype=np.uint64)
+    if len(rows) == 0 or words == 0:
+        return out
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    keys = rows * words + (cols >> 6)
+    values = np.uint64(1) << (cols & 63).astype(np.uint64)
+    if len(keys) > 1 and np.any(keys[:-1] > keys[1:]):
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        values = values[order]
+    bounds = _group_bounds(keys)
+    flat = out.reshape(-1)
+    flat[keys[bounds]] = np.bitwise_or.reduceat(values, bounds)
+    return out
+
+
+def or_rows_segmented(
+    matrix: np.ndarray,
+    rows: np.ndarray,
+    owner: np.ndarray,
+    num_segments: int,
+    *,
+    out: np.ndarray | None = None,
+    max_words: int = 1 << 23,
+) -> np.ndarray:
+    """Per-segment OR of matrix rows: ``out[owner[i]] |= matrix[rows[i]]``.
+
+    This is the fan-out half of a bitset join — e.g. "OR together the
+    index rows of every out-neighbor of ``s``".  ``owner`` must be sorted
+    ascending (the order :func:`~repro.core.batch.gather_segments`
+    produces); the row gather is chunked so the transient ``(chunk,
+    words)`` block never exceeds ``max_words`` words.
+    """
+    words = matrix.shape[1] if matrix.ndim == 2 else 0
+    if out is None:
+        out = np.zeros((num_segments, words), dtype=np.uint64)
+    if len(rows) == 0 or words == 0:
+        return out
+    step = max(1, max_words // max(1, words))
+    for start in range(0, len(rows), step):
+        sel_rows = rows[start : start + step]
+        sel_owner = owner[start : start + step]
+        bounds = _group_bounds(sel_owner)
+        ored = np.bitwise_or.reduceat(matrix[sel_rows], bounds, axis=0)
+        # Owners are unique within the chunk's bounds, so the fancy-index
+        # OR-assign is safe; a segment split across chunks merges here.
+        targets = sel_owner[bounds]
+        out[targets] |= ored
+    return out
+
+
+def and_any(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise non-empty-intersection test: ``any(a[i] & b[i])``."""
+    if a.shape[0] == 0 or a.shape[1] == 0:
+        return np.zeros(a.shape[0], dtype=bool)
+    return np.any(a & b, axis=1)
+
+
+def probe_bits(matrix: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Per-element membership probe: is bit ``cols[i]`` set in
+    ``matrix[rows[i]]``?  One word gather + shift per element."""
+    if len(rows) == 0:
+        return np.zeros(0, dtype=bool)
+    cols = np.asarray(cols, dtype=np.int64)
+    word = matrix[rows, cols >> 6]
+    return ((word >> (cols & 63).astype(np.uint64)) & np.uint64(1)).astype(bool)

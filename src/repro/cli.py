@@ -10,15 +10,19 @@ Usage::
     kreach-bench table8            # installed console script
 
 Query-timing experiments (Tables 5/7 and ``throughput``) run through the
-vectorized batch engine; ``throughput`` additionally reports the batch
-engine's speedup over the scalar per-pair loop, and ``build`` compares
-the blocked MS-BFS construction path against the per-source serial build.
+vectorized batch engine — ``--engine`` picks which one for the k-reach
+columns (``auto`` / ``bitset`` / ``chunked`` / ``scalar``).
+``throughput`` always compares all engines per row (with per-case
+timings and the scalar-vs-bitset speedup CI gates on), and ``build``
+compares the blocked MS-BFS construction path against the per-source
+serial build.
 
 Every experiment accepts ``--scale`` (1.0 = paper-sized graphs),
 ``--queries``, ``--datasets`` (comma-separated subset), ``--seed``, and
 ``--workers`` (process pool for construction).  ``--json PATH``
 additionally writes the results as machine-readable JSON so perf
-trajectories (e.g. ``BENCH_*.json``) can be tracked across PRs.
+trajectories (the CI-uploaded ``BENCH_throughput.json`` /
+``BENCH_build.json`` artifacts) can be tracked across PRs.
 """
 
 from __future__ import annotations
@@ -82,6 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--engine",
+        choices=["auto", "bitset", "chunked", "scalar"],
+        default="auto",
+        help=(
+            "query engine for the k-reach batch columns (Tables 5/6/7): "
+            "'auto' picks the bitset join when its cover-local link matrix "
+            "fits the memory gate and falls back to the chunked cross "
+            "products otherwise; 'bitset'/'chunked' force one path; "
+            "'scalar' loops per pair (the differential reference).  The "
+            "'throughput' experiment always compares all engines"
+        ),
+    )
+    parser.add_argument(
         "--markdown", action="store_true", help="emit markdown instead of ASCII"
     )
     parser.add_argument(
@@ -126,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
         bfs_queries=args.bfs_queries,
         seed=args.seed,
         workers=args.workers,
+        engine=args.engine,
     )
     names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     records: list[dict] = []
@@ -153,6 +171,7 @@ def main(argv: list[str] | None = None) -> int:
                 "bfs_queries": args.bfs_queries,
                 "seed": args.seed,
                 "workers": args.workers,
+                "engine": args.engine,
             },
             "experiments": records,
         }

@@ -16,11 +16,19 @@ share:
   vertex array in O(f + t) numpy work, tagging every neighbor with the
   position of the query pair that owns it.  This is what replaces the
   per-pair Case-2/3 neighbor scans.
+* :func:`case4_bitset_join` — the bitset-join Case-4 engine: both sides
+  of the ``outNei(s) × inNei(t)`` bridge collapse to cover-position
+  bitsets (``inNei(t)`` packed directly, ``outNei(s)`` OR-folded through
+  the index's :meth:`~repro.core.index_graph.IndexGraph.link_matrix`
+  rows), and the per-pair verdict is one word-wise AND-any.  Celebrity
+  vertices cost their degree in word operations instead of a
+  materialized cross product, so no pair ever needs a scalar spill.
 * :func:`plan_cross_products` — chunked materialization of the per-pair
   ``outNei(s) × inNei(t)`` cross products Case 4 bridges over, with a
   bound on transient memory: pairs whose cross product alone exceeds the
   chunk budget are returned separately so callers can fall back to the
-  scalar (early-exiting) path for those few hub×hub queries.
+  scalar (early-exiting) path for those few hub×hub queries.  This is
+  the fallback engine when the bitset matrix exceeds its memory budget.
 
 All kernels operate on dense int64 vertex ids; booleans come back as
 ``np.ndarray[bool]`` aligned with the caller's pair order.
@@ -32,6 +40,8 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro.bitsets.ops import and_any, bit_matrix, or_rows_segmented
+
 __all__ = [
     "MISSING_WEIGHT",
     "UNBOUNDED_BUDGET",
@@ -39,6 +49,7 @@ __all__ = [
     "as_pair_arrays",
     "gather_segments",
     "segment_any",
+    "case4_bitset_join",
     "plan_cross_products",
     "edge_keys",
     "has_edge_batch",
@@ -225,6 +236,60 @@ def case_codes(s_in: np.ndarray, t_in: np.ndarray) -> np.ndarray:
     case[s_in] = 2
     case[s_in & t_in] = 1
     return case
+
+
+def case4_bitset_join(
+    graph,
+    s: np.ndarray,
+    t: np.ndarray,
+    matrix: np.ndarray,
+    row_pos: np.ndarray,
+    *,
+    max_words: int = 1 << 23,
+) -> np.ndarray:
+    """Case-4 verdicts for aligned uncovered (s, t) arrays via bitset join.
+
+    ``matrix`` is a cover-local link matrix (see
+    :meth:`~repro.core.index_graph.IndexGraph.link_matrix`) already
+    thresholded at the caller's budget, with the diagonal set iff the
+    ``u == v`` handshake satisfies that budget; ``row_pos`` maps vertex
+    ids to cover positions (-1 outside the cover).
+
+    The identity this rides on: *some* out-neighbor ``u`` of ``s`` links
+    to *some* in-neighbor ``v`` of ``t`` iff the union of the link rows
+    of ``outNei(s)`` intersects the position set of ``inNei(t)`` — and
+    both factors depend on one endpoint only, so they are computed once
+    per **distinct** endpoint and shared across the batch.  Cost is
+    O(deg) word operations per distinct endpoint plus one AND-any per
+    pair; no cross product is ever materialized and no pair falls back
+    to a scalar walk.  Self-loop neighbors of an uncovered endpoint are
+    the only non-cover entries either list can contain and are skipped.
+    """
+    out = np.zeros(len(s), dtype=bool)
+    words = matrix.shape[1] if matrix.ndim == 2 else 0
+    if len(s) == 0 or words == 0:
+        return out
+    cover_size = matrix.shape[0]
+    uniq_s, s_inv = np.unique(s, return_inverse=True)
+    uniq_t, t_inv = np.unique(t, return_inverse=True)
+
+    nbrs, owner, _ = gather_segments(graph.in_indptr, graph.in_indices, uniq_t)
+    pos = row_pos[nbrs]
+    keep = pos >= 0
+    tbits = bit_matrix(owner[keep], pos[keep], len(uniq_t), cover_size)
+
+    nbrs, owner, _ = gather_segments(graph.out_indptr, graph.out_indices, uniq_s)
+    pos = row_pos[nbrs]
+    keep = pos >= 0
+    ubits = or_rows_segmented(
+        matrix, pos[keep], owner[keep], len(uniq_s), max_words=max_words
+    )
+
+    step = max(1, max_words // max(1, words))
+    for start in range(0, len(s), step):
+        stop = start + step
+        out[start:stop] = and_any(ubits[s_inv[start:stop]], tbits[t_inv[start:stop]])
+    return out
 
 
 def plan_cross_products(

@@ -24,10 +24,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bitsets.ops import DEFAULT_MATRIX_BYTES
 from repro.core.batch import (
     MISSING_WEIGHT,
+    UNBOUNDED_BUDGET,
     KeyedRowStore,
     as_pair_arrays,
+    case4_bitset_join,
     edge_keys,
     gather_segments,
     has_edge_batch,
@@ -75,9 +78,11 @@ class CoverDistanceOracle:
         *,
         cover: frozenset[int] | None = None,
         cover_strategy: str = "degree",
+        bitset_matrix_bytes: int = DEFAULT_MATRIX_BYTES,
         rng: np.random.Generator | None = None,
     ) -> None:
         self.graph = graph
+        self.bitset_matrix_bytes = int(bitset_matrix_bytes)
         if cover is None:
             cover = cover_from_strategy(graph, cover_strategy, rng=rng)
         else:
@@ -230,18 +235,98 @@ class CoverDistanceOracle:
         return self.distance(s, t) <= k
 
     def reaches_within_batch(self, pairs, k: int) -> np.ndarray:
-        """Vectorized :meth:`reaches_within`: an ``(m,)`` bool array."""
+        """Vectorized :meth:`reaches_within`: an ``(m,)`` bool array.
+
+        Boolean verdicts do not need the per-pair minimum distance
+        :meth:`distance_batch` computes, so this runs the cheaper
+        threshold path: per-case bulk gathers against ``d <= budget``,
+        with Case 4 resolved by the bitset join against the exact-weight
+        :meth:`~repro.core.index_graph.IndexGraph.link_matrix` at budget
+        ``k - 2`` (chunked cross products when a matrix would exceed
+        :attr:`bitset_matrix_bytes`).  Answers equal
+        ``distance_batch(pairs) <= k`` exactly.
+        """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        return self.distance_batch(pairs) <= k
+        return self._bool_batch(pairs, k)
 
     def reaches(self, s: int, t: int) -> bool:
         """Classic reachability."""
         return self.distance(s, t) < INFINITE_DISTANCE
 
     def reaches_batch(self, pairs) -> np.ndarray:
-        """Vectorized :meth:`reaches`: an ``(m,)`` bool array."""
-        return self.distance_batch(pairs) < INFINITE_DISTANCE
+        """Vectorized :meth:`reaches`: an ``(m,)`` bool array (the
+        unbounded-budget threshold path; see :meth:`reaches_within_batch`)."""
+        return self._bool_batch(pairs, None)
+
+    def _bool_batch(self, pairs, k: int | None) -> np.ndarray:
+        """``d(s, t) <= k`` over a batch (``k=None`` = finite distance)."""
+        g = self.graph
+        s, t = as_pair_arrays(pairs, g.n)
+        m = len(s)
+        out = np.zeros(m, dtype=bool)
+        if m == 0:
+            return out
+        np.equal(s, t, out=out)
+        if k == 0:
+            return out
+        store = self._keyed()
+        s_in = self._in_cover[s]
+        t_in = self._in_cover[t]
+        undecided = ~out
+        b0 = UNBOUNDED_BUDGET if k is None else np.int64(k)
+        b1 = UNBOUNDED_BUDGET if k is None else np.int64(k - 1)
+        b2 = UNBOUNDED_BUDGET if k is None else np.int64(k - 2)
+
+        # Case 1: direct cover-pair distance against the full budget.
+        sel = np.flatnonzero(undecided & s_in & t_in)
+        if len(sel):
+            out[sel] = store.lookup(s[sel], t[sel]) <= b0
+
+        # Case 2: some in-neighbor v of t with v == s or d(s, v) <= k-1.
+        sel = np.flatnonzero(undecided & s_in & ~t_in)
+        if len(sel):
+            nbrs, owner, _ = gather_segments(g.in_indptr, g.in_indices, t[sel])
+            src = s[sel][owner]
+            hit = store.lookup(src, nbrs) <= b1
+            if k is None or k >= 1:
+                hit |= nbrs == src
+            out[sel] = np.bincount(owner[hit], minlength=len(sel)) > 0
+
+        # Case 3: mirror over out-neighbors of s.
+        sel = np.flatnonzero(undecided & ~s_in & t_in)
+        if len(sel):
+            nbrs, owner, _ = gather_segments(g.out_indptr, g.out_indices, s[sel])
+            dst = t[sel][owner]
+            hit = store.lookup(nbrs, dst) <= b1
+            if k is None or k >= 1:
+                hit |= nbrs == dst
+            out[sel] = np.bincount(owner[hit], minlength=len(sel)) > 0
+
+        # Case 4: bitset join at budget k-2 (diagonal = the u == v
+        # handshake, a 2-hop bridge), chunked products as the fallback.
+        sel = np.flatnonzero(undecided & ~s_in & ~t_in)
+        if len(sel):
+            s4, t4 = s[sel], t[sel]
+            ig = self._ig
+            if k is not None and k < 2:
+                pass  # no 2-hop bridge fits the budget
+            elif ig.link_matrix_bytes() <= self.bitset_matrix_bytes:
+                matrix = ig.link_matrix(
+                    None if k is None else k - 2, diagonal=True
+                )
+                out[sel] = case4_bitset_join(g, s4, t4, matrix, ig.row_pos())
+            else:
+                res = np.zeros(len(sel), dtype=bool)
+                big, chunks = plan_cross_products(g, s4, t4)
+                for sub, u, v, owner in chunks:
+                    hit = (store.lookup(u, v) <= b2) | (u == v)
+                    res[sub] |= np.bincount(owner[hit], minlength=len(sub)) > 0
+                for j in big.tolist():
+                    d = self.distance(int(s4[j]), int(t4[j]))
+                    res[j] = d < INFINITE_DISTANCE if k is None else d <= k
+                out[sel] = res
+        return out
 
     @property
     def cover_size(self) -> int:

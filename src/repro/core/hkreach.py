@@ -46,18 +46,33 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bitsets.ops import (
+    DEFAULT_MATRIX_BYTES,
+    and_any,
+    bit_matrix,
+    or_rows_segmented,
+    probe_bits,
+    words_for,
+)
 from repro.bitsets.packed import PackedIntArray, bits_needed
 from repro.core.batch import (
     UNBOUNDED_BUDGET,
     KeyedRowStore,
     as_pair_arrays,
     case_codes,
+    gather_segments,
+    segment_any,
 )
-from repro.core.index_graph import IndexGraph, cover_triples_blocked
+from repro.core.index_graph import (
+    LINK_MATRIX_CACHE_CAP,
+    IndexGraph,
+    cover_triples_blocked,
+)
 from repro.core.vertex_cover import hhop_vertex_cover, is_hhop_vertex_cover
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import (
     bidirectional_reaches_within,
+    blocked_ball_probe,
     bounded_neighborhood,
     reaches_within_small,
 )
@@ -67,8 +82,17 @@ __all__ = ["HKReachIndex"]
 # Cap on the per-batch level-expansion memo (entries).  Random 1M-pair
 # workloads have mostly distinct endpoints; without a bound the memo
 # would retain every expanded ball for the life of the batch, which on
-# hub-heavy graphs is multi-GB where the scalar loop needs O(1).
+# hub-heavy graphs is multi-GB where the scalar loop needs O(1).  The
+# memo evicts FIFO at the cap, so long hub-heavy batches keep amortizing
+# repeated endpoints instead of freezing the cache at its first fill.
 _LEVEL_MEMO_CAP = 65_536
+
+# The bitset engine processes Cases 2-4 in slices of this many pairs so
+# its per-distinct-endpoint bitset blocks stay bounded regardless of the
+# batch size.
+_BITSET_SLICE = 1 << 16
+
+_ENGINES = ("auto", "bitset", "scalar")
 
 
 class HKReachIndex:
@@ -96,6 +120,15 @@ class HKReachIndex:
         ``h ≥ 1`` (budgets simply go negative more often and weights are
         quantized less aggressively); the paper itself does this in
         Table 9, where (2, µ)-reach is evaluated with µ = 2.
+    bitset_matrix_bytes:
+        Memory ceiling for the batch engine's stack of per-budget
+        cover-local link matrices (up to ``2h`` matrices of ``~|V_H|²/8``
+        bytes each; default
+        :data:`~repro.bitsets.ops.DEFAULT_MATRIX_BYTES`).  When the
+        stack would exceed it, ``engine='auto'`` batches fall back to
+        the memoized scalar Algorithm-3 walk; ``0`` keeps ``'auto'`` off
+        the bitset path entirely (an explicit ``engine='bitset'`` still
+        forces the matrix builds).
 
     Examples
     --------
@@ -119,6 +152,7 @@ class HKReachIndex:
         cover: frozenset[int] | None = None,
         cover_order: str = "degree",
         strict: bool = True,
+        bitset_matrix_bytes: int = DEFAULT_MATRIX_BYTES,
         rng: np.random.Generator | None = None,
     ) -> None:
         if h < 1:
@@ -146,6 +180,7 @@ class HKReachIndex:
         self._in_cover = np.zeros(graph.n, dtype=bool)
         if cover:
             self._in_cover[list(cover)] = True
+        self.bitset_matrix_bytes = int(bitset_matrix_bytes)
         self._ig = self._build()
         self._flat: dict[int, int] | None = None
         self._keyed_rows: KeyedRowStore | None = None
@@ -220,11 +255,14 @@ class HKReachIndex:
     ) -> list[list[int]]:
         """BFS levels 1..limit around ``v`` (level 0 = {v} omitted).
 
-        ``memo`` (used by :meth:`query_batch`) caches expansions across a
-        batch: random workloads repeat endpoints, and celebrity workloads
-        repeat them heavily, so the per-vertex balls amortize.  The memo
-        stops growing at :data:`_LEVEL_MEMO_CAP` entries so a huge batch
-        of distinct endpoints cannot hold every ball in memory at once.
+        ``memo`` (used by the scalar batch engine) caches expansions
+        across a batch: random workloads repeat endpoints, and celebrity
+        workloads repeat them heavily, so the per-vertex balls amortize.
+        The memo is capped at :data:`_LEVEL_MEMO_CAP` entries with FIFO
+        eviction — a huge batch of distinct endpoints cannot hold every
+        ball in memory at once, while long hub-heavy batches keep
+        amortizing their repeated endpoints instead of losing the cache
+        the moment it first fills.
         """
         if limit <= 0:
             return []
@@ -238,7 +276,9 @@ class HKReachIndex:
         for u, d in ball.items():
             if d >= 1:
                 levels[d - 1].append(u)
-        if memo is not None and len(memo) < _LEVEL_MEMO_CAP:
+        if memo is not None:
+            if len(memo) >= _LEVEL_MEMO_CAP:
+                memo.pop(next(iter(memo)))  # FIFO: drop the oldest ball
             memo[key] = levels
         return levels
 
@@ -358,11 +398,76 @@ class HKReachIndex:
     def prepare_batch(self) -> "HKReachIndex":
         """Build the batch engine's lookup structures now (see
         :meth:`KReachIndex.prepare_batch
-        <repro.core.kreach.KReachIndex.prepare_batch>`)."""
+        <repro.core.kreach.KReachIndex.prepare_batch>`), including the
+        per-budget link matrices when they fit
+        :attr:`bitset_matrix_bytes`."""
         self._keyed()
+        if self._bitset_ready():
+            for budget in self._bitset_budgets():
+                self._matrix(budget)
         return self
 
-    def query_batch(self, pairs) -> np.ndarray:
+    def _join_params(self) -> tuple[int, int, int, int]:
+        """``(L23, L4, link_limit, side_limit)`` — Algorithm 3's depth caps.
+
+        ``L23`` / ``L4`` are the direct-contact hop bounds of Cases 2/3
+        and Case 4 (:meth:`_contact_limit`); ``link_limit`` /
+        ``side_limit`` the deepest expansion levels that can still
+        certify an index link (see :meth:`_min_link_weight`).
+        """
+        k, h = self.k, self.h
+        if k is None:
+            return h, 2 * h, h, h
+        minw = self._min_link_weight()
+        return (
+            min(h, k),
+            min(2 * h, k),
+            max(0, min(h, k - minw)),
+            max(0, min(h, k - 1 - minw)),
+        )
+
+    def _bitset_budgets(self) -> list[int | None]:
+        """The distinct link budgets the bitset engine joins against.
+
+        One cover-local matrix is built per budget: ``k - j`` for the
+        Case-2/3 levels and every non-negative ``k - i - j`` Case 4 can
+        combine — at most ``2h`` values.  ``k=None`` needs only the
+        presence matrix.
+        """
+        if self.k is None:
+            return [None]
+        _, _, link_limit, side_limit = self._join_params()
+        budgets: set[int] = {self.k - j for j in range(1, link_limit + 1)}
+        for i in range(1, side_limit + 1):
+            for j in range(1, side_limit + 1):
+                if self.k - i - j >= 0:
+                    budgets.add(self.k - i - j)
+        return sorted(budgets)
+
+    def _bitset_ready(self) -> bool:
+        """Whether the per-budget matrix stack fits the memory ceiling.
+
+        The stack must also fit the :class:`IndexGraph` matrix cache in
+        full — otherwise a long batch would silently rebuild evicted
+        budgets every slice instead of amortizing them.
+        """
+        budgets = self._bitset_budgets()
+        return (
+            len(budgets) <= LINK_MATRIX_CACHE_CAP
+            and len(budgets) * self._ig.link_matrix_bytes()
+            <= self.bitset_matrix_bytes
+        )
+
+    def _matrix(self, budget: int | None) -> np.ndarray:
+        """The cover-local link matrix for one budget, diagonal set.
+
+        The diagonal encodes the ``u == v`` handshake
+        (:meth:`_link_within` treats it as distance 0), which every
+        budget the engine joins against admits (all are ``>= 0``).
+        """
+        return self._ig.link_matrix(budget, diagonal=True)
+
+    def query_batch(self, pairs, *, engine: str = "auto") -> np.ndarray:
         """Vectorized :meth:`query` over a batch of (s, t) pairs.
 
         Same contract as :meth:`KReachIndex.query_batch
@@ -373,11 +478,22 @@ class HKReachIndex:
 
         Algorithm 3's case split is vectorized over the cover flags and
         Case 1 resolves through one bulk sorted-key gather.  Cases 2–4
-        keep the scalar expansion walk (its contact tests and
-        budget-capped level expansions are inherently early-exiting) but
-        share a per-batch memo of level expansions, which pays off
-        whenever endpoints repeat across the workload.
+        depend on ``engine``:
+
+        * ``'bitset'`` (the ``'auto'`` default when the per-budget link
+          matrices fit :attr:`bitset_matrix_bytes`) — 64-source
+          bit-parallel ball expansion over the batch's distinct
+          endpoints: one blocked sweep answers every direct-contact test
+          at its exact hop checkpoint and collects per-endpoint
+          cover-contact bitsets, which then resolve the index joins as
+          word-wise AND tests against the per-budget matrix rows.  No
+          per-pair Python walk remains.
+        * ``'scalar'`` — the per-pair Algorithm-3 walk with the shared
+          FIFO level-expansion memo (the differential reference, and the
+          ``'auto'`` fallback for covers too large for the matrices).
         """
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         g, k = self.graph, self.k
         s, t = as_pair_arrays(pairs, g.n)
         m = len(s)
@@ -397,12 +513,183 @@ class HKReachIndex:
             bk = UNBOUNDED_BUDGET if k is None else np.int64(k)
             out[sel] = self._keyed().lookup(s[sel], t[sel]) <= bk
 
-        # Cases 2-4: scalar Algorithm-3 walk with shared level memo.
-        memo: dict = {}
-        sel = np.flatnonzero(undecided & ~(s_in & t_in))
-        for j in sel.tolist():
-            out[j] = self._query_impl(int(s[j]), int(t[j]), memo)
+        rest = np.flatnonzero(undecided & ~(s_in & t_in))
+        if not len(rest):
+            return out
+        if engine == "auto":
+            engine = "bitset" if self._bitset_ready() else "scalar"
+        if engine == "scalar":
+            # Per-pair Algorithm-3 walk with shared level memo.
+            memo: dict = {}
+            for j in rest.tolist():
+                out[j] = self._query_impl(int(s[j]), int(t[j]), memo)
+            return out
+        for start in range(0, len(rest), _BITSET_SLICE):
+            sl = rest[start : start + _BITSET_SLICE]
+            out[sl] = self._rest_batch_bitset(s[sl], t[sl], s_in[sl])
         return out
+
+    def _rest_batch_bitset(
+        self, rs: np.ndarray, rt: np.ndarray, rs_in: np.ndarray
+    ) -> np.ndarray:
+        """Cases 2–4 verdicts for one slice of non-Case-1 pairs (s != t).
+
+        Three phases, all bit-parallel:
+
+        1. One blocked forward sweep from the slice's **distinct**
+           sources resolves every pair's direct-contact test at its
+           exact hop checkpoint (``L23`` or ``L4``) and emits
+           ``(source, cover vertex, level)`` contact triples.
+        2. One blocked backward sweep from the distinct uncovered
+           targets emits the mirror triples, packed into per-(target,
+           level) cover-position bitsets.
+        3. The index joins: Case 2 ANDs the covered source's matrix row
+           against the target's level bitsets, Case 3 probes one matrix
+           bit per forward contact, Case 4 OR-folds the forward
+           contacts' matrix rows (per level pair, respecting the
+           ``k - i - j`` budgets) and ANDs them against the backward
+           bitsets.  Every verdict matches the scalar walk bit for bit.
+        """
+        g, k = self.graph, self.k
+        n_pairs = len(rs)
+        res = np.zeros(n_pairs, dtype=bool)
+        ig = self._ig
+        row_pos = ig.row_pos()
+        cover_size = ig.cover_size
+        words = words_for(cover_size)
+        L23, L4, link_limit, side_limit = self._join_params()
+        case = np.where(rs_in, 2, np.where(self._in_cover[rt], 3, 4)).astype(np.int8)
+
+        # Phase 1: forward contact sweep over distinct sources.
+        uniq_s, s_idx = np.unique(rs, return_inverse=True)
+        contact_depth = np.where(case == 4, L4, L23).astype(np.int64)
+        depth_s = np.zeros(len(uniq_s), dtype=np.int64)
+        np.maximum.at(depth_s, s_idx, contact_depth)
+        contact, (fs, fv, fd) = blocked_ball_probe(
+            g,
+            uniq_s,
+            s_idx,
+            rt,
+            contact_depth,
+            depths=depth_s,
+            direction="out",
+            emit=self._in_cover,
+        )
+        res |= contact
+        if link_limit == 0 and side_limit == 0:
+            return res
+
+        # Forward contacts grouped by source index (a CSR over uniq_s).
+        order = np.argsort(fs, kind="stable")
+        fs, fv, fd = fs[order], fv[order], fd[order]
+        f_indptr = np.zeros(len(uniq_s) + 1, dtype=np.int64)
+        np.cumsum(np.bincount(fs, minlength=len(uniq_s)), out=f_indptr[1:])
+
+        # Phase 2: backward sweep over distinct uncovered targets,
+        # packed into per-(target, level) cover-position bitsets.
+        bmask = case != 3
+        t_idx = np.full(n_pairs, -1, dtype=np.int64)
+        slots = 1 if k is None else link_limit
+        bits_b: np.ndarray | None = None
+        if bool(bmask.any()) and slots > 0:
+            uniq_t, t_part = np.unique(rt[bmask], return_inverse=True)
+            t_idx[bmask] = t_part
+            depth_t = np.zeros(len(uniq_t), dtype=np.int64)
+            np.maximum.at(
+                depth_t,
+                t_part,
+                np.where(case[bmask] == 2, link_limit, side_limit),
+            )
+            empty = np.empty(0, dtype=np.int64)
+            _, (bs, bv, bd) = blocked_ball_probe(
+                g,
+                uniq_t,
+                empty,
+                empty,
+                empty,
+                depths=depth_t,
+                direction="in",
+                emit=self._in_cover,
+            )
+            rows = bs if k is None else bs * slots + (bd - 1)
+            bits_b = bit_matrix(
+                rows, row_pos[bv], len(uniq_t) * slots, cover_size
+            ).reshape(len(uniq_t), slots, words)
+
+        # Phase 3a: Case 2 — the covered source's matrix row AND the
+        # target's level bitsets, nearest levels with the largest budget.
+        sel = np.flatnonzero((case == 2) & ~res)
+        if len(sel) and link_limit > 0 and bits_b is not None:
+            spos = row_pos[rs[sel]]
+            tsel = t_idx[sel]
+            if k is None:
+                res[sel] |= and_any(self._matrix(None)[spos], bits_b[tsel, 0])
+            else:
+                for j in range(1, link_limit + 1):
+                    res[sel] |= and_any(
+                        self._matrix(k - j)[spos], bits_b[tsel, j - 1]
+                    )
+
+        # Phase 3b: Case 3 — one matrix-bit probe per forward contact.
+        sel = np.flatnonzero((case == 3) & ~res)
+        if len(sel) and link_limit > 0:
+            cpos, owner, _ = gather_segments(
+                f_indptr, np.arange(len(fv), dtype=np.int64), s_idx[sel]
+            )
+            keep = fd[cpos] <= link_limit
+            cpos, owner = cpos[keep], owner[keep]
+            upos = row_pos[fv[cpos]]
+            levels = fd[cpos]
+            tpos = row_pos[rt[sel]][owner]
+            hit = np.zeros(len(cpos), dtype=bool)
+            if k is None:
+                hit = probe_bits(self._matrix(None), upos, tpos)
+            else:
+                for i in range(1, link_limit + 1):
+                    seli = levels == i
+                    if seli.any():
+                        hit[seli] = probe_bits(
+                            self._matrix(k - i), upos[seli], tpos[seli]
+                        )
+            res[sel] |= segment_any(hit, owner, len(sel))
+
+        # Phase 3c: Case 4 — OR-fold the forward contacts' matrix rows
+        # per level pair (i, j) under the k - i - j budget, then AND
+        # against the backward level bitsets.
+        sel = np.flatnonzero((case == 4) & ~res)
+        if len(sel) and side_limit > 0 and bits_b is not None:
+            su, su_inv = np.unique(s_idx[sel], return_inverse=True)
+            cpos, owner, _ = gather_segments(
+                f_indptr, np.arange(len(fv), dtype=np.int64), su
+            )
+            keep = fd[cpos] <= side_limit
+            cpos, owner = cpos[keep], owner[keep]
+            upos = row_pos[fv[cpos]]
+            levels = fd[cpos]
+            tsel = t_idx[sel]
+            if k is None:
+                folded = or_rows_segmented(
+                    self._matrix(None), upos, owner, len(su)
+                )
+                res[sel] |= and_any(folded[su_inv], bits_b[tsel, 0])
+            else:
+                for j in range(1, side_limit + 1):
+                    folded = np.zeros((len(su), words), dtype=np.uint64)
+                    for i in range(1, side_limit + 1):
+                        budget = k - i - j
+                        if budget < 0:
+                            continue
+                        seli = levels == i
+                        if seli.any():
+                            or_rows_segmented(
+                                self._matrix(budget),
+                                upos[seli],
+                                owner[seli],
+                                len(su),
+                                out=folded,
+                            )
+                    res[sel] |= and_any(folded[su_inv], bits_b[tsel, j - 1])
+        return res
 
     def query_case_batch(self, pairs) -> np.ndarray:
         """Vectorized :meth:`query_case`: an ``(m,)`` uint8 array of 1–4."""

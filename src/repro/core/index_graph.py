@@ -33,6 +33,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.bitsets.ops import bit_matrix, matrix_bytes
 from repro.bitsets.packed import PackedIntArray, bits_needed
 from repro.graph.digraph import DiGraph, validate_csr
 from repro.graph.traversal import (
@@ -44,9 +45,16 @@ from repro.graph.traversal import (
 
 __all__ = [
     "IndexGraph",
+    "LINK_MATRIX_CACHE_CAP",
     "cover_triples_serial",
     "cover_triples_blocked",
 ]
+
+#: Entries the per-IndexGraph :meth:`IndexGraph.link_matrix` FIFO cache
+#: retains.  Engines that join against a *stack* of budgets (the
+#: (h,k)-reach batch path) must fit their whole stack inside this cap or
+#: fall back, so a cached view is never silently rebuilt per batch.
+LINK_MATRIX_CACHE_CAP = 16
 
 # Below this k a scalar sparse BFS beats the vectorized full-array BFS
 # for the per-source serial builder (tiny k-hop balls).
@@ -81,6 +89,7 @@ class IndexGraph:
         "_keys",
         "_row_pos",
         "_flat",
+        "_matrices",
     )
 
     def __init__(
@@ -102,6 +111,7 @@ class IndexGraph:
         self._keys: np.ndarray | None = None
         self._row_pos: np.ndarray | None = None
         self._flat: dict[int, int] | None = None
+        self._matrices: dict[tuple[int | None, bool], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -273,6 +283,51 @@ class IndexGraph:
                 zip(self.keys().tolist(), self.weights64().tolist())
             )
         return self._flat
+
+    def link_matrix(
+        self, budget: int | None = None, *, diagonal: bool = False
+    ) -> np.ndarray:
+        """Cover-local bitset link matrix — the bitset-join probe view.
+
+        A ``(|V_I|, ceil(|V_I| / 64))`` uint64 matrix in *cover
+        positions*: bit ``j`` of row ``i`` is set iff the index stores an
+        edge ``(cover_ids[i], cover_ids[j])`` with weight ``<= budget``
+        (``budget=None`` means any stored edge counts — the n-reach
+        presence semantics).  With ``diagonal=True`` bit ``i`` of row
+        ``i`` is additionally set, encoding the ``u == v``
+        self-handshake as a zero-weight link; callers pass it only when
+        a zero distance satisfies their budget.  Targets outside the
+        cover (legal in hand-built graphs) are ignored.
+
+        Each distinct ``(budget, diagonal)`` view is built once and
+        cached (a small FIFO keeps the cache from growing without bound
+        when a general-k oracle probes many budgets); size one view with
+        :meth:`link_matrix_bytes` before building.
+        """
+        key = (None if budget is None else int(budget), bool(diagonal))
+        mat = self._matrices.get(key)
+        if mat is not None:
+            return mat
+        size = len(self.cover_ids)
+        tpos = self.row_pos()[self.targets]
+        keep = tpos >= 0
+        if budget is not None:
+            keep &= self.packed.leq_mask(int(budget) - self.weight_base)
+        heads = np.repeat(
+            np.arange(size, dtype=np.int64), np.diff(self.indptr)
+        )
+        mat = bit_matrix(heads[keep], tpos[keep], size, size)
+        if diagonal and size:
+            diag = np.arange(size, dtype=np.int64)
+            mat[diag, diag >> 6] |= np.uint64(1) << (diag & 63).astype(np.uint64)
+        while len(self._matrices) >= LINK_MATRIX_CACHE_CAP:
+            self._matrices.pop(next(iter(self._matrices)))
+        self._matrices[key] = mat
+        return mat
+
+    def link_matrix_bytes(self) -> int:
+        """Bytes one :meth:`link_matrix` view occupies (``~|V_I|² / 8``)."""
+        return matrix_bytes(self.cover_size, self.cover_size)
 
     # ------------------------------------------------------------------
     # Point access

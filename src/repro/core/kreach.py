@@ -48,12 +48,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bitsets.ops import DEFAULT_MATRIX_BYTES
 from repro.bitsets.packed import PackedIntArray
 from repro.core.batch import (
     MISSING_WEIGHT,
     UNBOUNDED_BUDGET,
     KeyedRowStore,
     as_pair_arrays,
+    case4_bitset_join,
     case_codes,
     gather_segments,
     segment_any,
@@ -72,6 +74,7 @@ from repro.graph.scc import condensation
 __all__ = ["KReachIndex"]
 
 _BUILDERS = ("blocked", "serial")
+_ENGINES = ("auto", "bitset", "chunked", "scalar")
 
 
 class KReachIndex:
@@ -103,6 +106,14 @@ class KReachIndex:
         multi-source BFS; ``'serial'`` runs one BFS per cover vertex (the
         pre-refactor path, kept for differential tests and benchmarks).
         Both produce bit-identical :class:`IndexGraph` contents.
+    bitset_matrix_bytes:
+        Memory ceiling for the Case-4 bitset-join link matrix
+        (``~|S|²/8`` bytes; default
+        :data:`~repro.bitsets.ops.DEFAULT_MATRIX_BYTES`).  Covers too
+        large for the ceiling make ``engine='auto'`` batches fall back
+        to the chunked cross-product engine; ``0`` keeps ``'auto'`` off
+        the bitset path entirely (an explicit ``engine='bitset'`` still
+        forces the matrix build).
     rng:
         Randomness for ``cover_strategy='random'``.
 
@@ -138,6 +149,7 @@ class KReachIndex:
         include_degree_at_least: int | None = None,
         compress_rows_at: int | None = None,
         builder: str = "blocked",
+        bitset_matrix_bytes: int = DEFAULT_MATRIX_BYTES,
         rng: np.random.Generator | None = None,
     ) -> None:
         if k is not None and k < 0:
@@ -161,7 +173,9 @@ class KReachIndex:
             make = cover_triples_serial if builder == "serial" else cover_triples_blocked
             triples = make(graph, cover, k)
         ig = IndexGraph.for_kreach(graph.n, cover, *triples, k)
-        self._finish_init(graph, k, cover, ig, compress_rows_at)
+        self._finish_init(
+            graph, k, cover, ig, compress_rows_at, bitset_matrix_bytes
+        )
 
     def _finish_init(
         self,
@@ -170,6 +184,7 @@ class KReachIndex:
         cover: frozenset[int],
         index_graph: IndexGraph,
         compress_rows_at: int | None,
+        bitset_matrix_bytes: int = DEFAULT_MATRIX_BYTES,
     ) -> None:
         self.graph = graph
         self.k = k
@@ -183,6 +198,7 @@ class KReachIndex:
         self._b2_ok = k is None or k >= 2  # ... use k-2?
         self._ig = index_graph
         self.compress_rows_at = compress_rows_at
+        self.bitset_matrix_bytes = int(bitset_matrix_bytes)
         self._wah = self._build_wah(compress_rows_at)
         # Plain-list adjacency for the hot query loops.
         self._out_lists = graph.out_lists()
@@ -218,6 +234,7 @@ class KReachIndex:
         cover: frozenset[int],
         index_graph: IndexGraph,
         compress_rows_at: int | None = None,
+        bitset_matrix_bytes: int = DEFAULT_MATRIX_BYTES,
     ) -> "KReachIndex":
         """Assemble an index around a pre-built :class:`IndexGraph`.
 
@@ -229,7 +246,12 @@ class KReachIndex:
         """
         self = object.__new__(cls)
         self._finish_init(
-            graph, k, frozenset(int(v) for v in cover), index_graph, compress_rows_at
+            graph,
+            k,
+            frozenset(int(v) for v in cover),
+            index_graph,
+            compress_rows_at,
+            bitset_matrix_bytes,
         )
         return self
 
@@ -510,34 +532,57 @@ class KReachIndex:
         """Build the batch engine's lookup structures now.
 
         They are otherwise built lazily on the first :meth:`query_batch`
-        call (a one-time key/weight materialization from the IndexGraph);
-        serving setups and benchmarks call this to keep that cost out of
-        the steady-state query path.  Returns ``self`` for chaining.
+        call (a one-time key/weight materialization from the IndexGraph,
+        plus the Case-4 link matrix when it fits
+        :attr:`bitset_matrix_bytes`); serving setups and benchmarks call
+        this to keep that cost out of the steady-state query path.
+        Returns ``self`` for chaining.
         """
         self._keyed()
         self._flags()
+        self._case4_matrix()
         return self
 
-    def query_batch(self, pairs) -> np.ndarray:
+    def query_batch(self, pairs, *, engine: str = "auto") -> np.ndarray:
         """Vectorized :meth:`query` over a batch of (s, t) pairs.
 
         Input is any ``(m, 2)`` integer array-like; output an ``(m,)``
         bool array with ``out[i] == self.query(pairs[i][0], pairs[i][1])``
-        (see the class docstring for the full batch API contract).
+        (see the class docstring for the full batch API contract).  All
+        engines return bit-identical answers.
 
         Algorithm 2's case split is evaluated over the cover-membership
         flags of all pairs at once.  Case-1 weights are gathered in one
-        sorted-key binary search over the row store, Cases 2/3 batch the
-        neighbor probes over the CSR arrays, and Case 4 sweeps chunked
-        ``outNei(s) × inNei(t)`` cross products — except for rare hub×hub
-        pairs whose product alone would dominate memory; those take the
-        scalar early-exit path.
+        sorted-key binary search over the row store and Cases 2/3 batch
+        the neighbor probes over the CSR arrays.  Case 4 depends on
+        ``engine``:
+
+        * ``'auto'`` (default) — the bitset join when the cover-local
+          link matrix fits :attr:`bitset_matrix_bytes`, else the chunked
+          engine.
+        * ``'bitset'`` — force the bitset join: per-pair verdicts become
+          word-wise AND-any tests against per-endpoint cover bitsets; no
+          cross product is materialized and no pair ever takes the
+          hub-spill path.
+        * ``'chunked'`` — the chunked ``outNei(s) × inNei(t)`` cross
+          products with the scalar early-exit spill for hub×hub pairs
+          (the pre-bitset engine, kept for benchmarks/differential
+          tests).
+        * ``'scalar'`` — a plain per-pair :meth:`query` loop (the
+          differential reference).
         """
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         g = self.graph
         s, t = as_pair_arrays(pairs, g.n)
         m = len(s)
         out = np.zeros(m, dtype=bool)
         if m == 0:
+            return out
+        if engine == "scalar":
+            query = self.query
+            for i, (si, ti) in enumerate(zip(s.tolist(), t.tolist())):
+                out[i] = query(si, ti)
             return out
         np.equal(s, t, out=out)
         k = self.k
@@ -580,13 +625,39 @@ class KReachIndex:
         # Case 4: bridge outNei(s) × inNei(t) through the index.
         sel = np.flatnonzero(undecided & ~s_in & ~t_in)
         if len(sel):
-            out[sel] = self._case4_batch(store, s[sel], t[sel], b2)
+            out[sel] = self._case4_batch(store, s[sel], t[sel], b2, engine)
         return out
 
+    def _case4_matrix(self, *, force: bool = False) -> np.ndarray | None:
+        """The Case-4 link matrix, or None when it exceeds the memory gate.
+
+        Row ``i`` holds the cover vertices reachable from
+        ``cover_ids[i]`` within budget ``k-2`` (any stored link for
+        n-reach), with the diagonal standing in for the ``u == v``
+        handshake whenever a 2-hop bridge is legal.  Built lazily and
+        cached on the :class:`IndexGraph`.
+        """
+        ig = self._ig
+        if not force and ig.link_matrix_bytes() > self.bitset_matrix_bytes:
+            return None
+        budget = None if self.k is None else self.k - 2
+        return ig.link_matrix(budget, diagonal=self._b2_ok)
+
     def _case4_batch(
-        self, store: KeyedRowStore, s: np.ndarray, t: np.ndarray, budget: np.int64
+        self,
+        store: KeyedRowStore,
+        s: np.ndarray,
+        t: np.ndarray,
+        budget: np.int64,
+        engine: str,
     ) -> np.ndarray:
         """Case-4 verdicts for aligned uncovered (s, t) arrays."""
+        if engine != "chunked":
+            matrix = self._case4_matrix(force=engine == "bitset")
+            if matrix is not None:
+                return case4_bitset_join(
+                    self.graph, s, t, matrix, self._ig.row_pos()
+                )
         res = np.zeros(len(s), dtype=bool)
         big, chunks = plan_cross_products(self.graph, s, t)
         for sub, u, v, owner in chunks:

@@ -28,6 +28,7 @@ __all__ = [
     "random_dag",
     "layered_dag",
     "power_law_digraph",
+    "celebrity_crossfire_digraph",
     "paper_example_graph",
     "PAPER_EXAMPLE_LABELS",
 ]
@@ -169,6 +170,45 @@ def power_law_digraph(
     tails = rng.choice(n, size=m, p=probs)
     keep = heads != tails
     return DiGraph(n, np.stack([heads[keep], tails[keep]], axis=1))  # type: ignore[arg-type]
+
+
+def celebrity_crossfire_digraph(
+    brokers: int,
+    celebrities: int,
+    degree: int,
+    *,
+    p_broker: float = 0.02,
+    seed: int = 0,
+) -> DiGraph:
+    """The Case-4 "celebrity × celebrity" stress graph (§1's hub story).
+
+    Vertices ``0 .. brokers-1`` are *brokers* wired among themselves by a
+    sparse random digraph (edge probability ``p_broker``); the remaining
+    ``celebrities`` vertices each fire ``degree`` random out-edges into
+    the brokers and receive ``degree`` random in-edges from them.  The
+    brokers therefore form a vertex cover, every celebrity stays
+    uncovered, and a celebrity-to-celebrity query is always Algorithm 2's
+    Case 4 with a ``degree × degree`` neighbor cross product — the
+    hub×hub workload that forces the chunked batch engine to materialize
+    (or spill on) enormous products while the bitset join pays only
+    O(degree) word operations per endpoint.
+    """
+    if brokers < 1 or celebrities < 0 or degree < 1:
+        raise ValueError("need brokers >= 1, celebrities >= 0, degree >= 1")
+    rng = np.random.default_rng(seed)
+    degree = min(degree, brokers)
+    n = brokers + celebrities
+    m_broker = int(p_broker * brokers * brokers)
+    backbone = rng.integers(0, brokers, size=(m_broker, 2))
+    celebs = brokers + np.repeat(np.arange(celebrities, dtype=np.int64), degree)
+    spokes_out = np.stack(
+        [celebs, rng.integers(0, brokers, size=len(celebs))], axis=1
+    )
+    spokes_in = np.stack(
+        [rng.integers(0, brokers, size=len(celebs)), celebs], axis=1
+    )
+    edges = np.concatenate([backbone, spokes_out, spokes_in], axis=0)
+    return DiGraph(n, edges)  # type: ignore[arg-type]
 
 
 #: Vertex labels of the paper's Figure 1 / Figure 3 example graph, in id order.

@@ -30,6 +30,8 @@ __all__ = [
     "bfs_distances",
     "bfs_distances_blocked",
     "bfs_distances_scalar",
+    "blocked_ball_probe",
+    "bulk_reaches_within",
     "reachable_set",
     "reaches_within_bfs",
     "reaches_within_small",
@@ -225,6 +227,193 @@ def bfs_distances_blocked(
         np.concatenate(out_dst),
         np.concatenate(out_dist),
     )
+
+
+def blocked_ball_probe(
+    g: DiGraph,
+    sources: np.ndarray,
+    probe_src: np.ndarray,
+    probe_dst: np.ndarray,
+    probe_depth: np.ndarray,
+    *,
+    depths: np.ndarray | None = None,
+    direction: str = "out",
+    emit: np.ndarray | None = None,
+) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Bit-parallel bounded ball expansion with distance-checkpoint probes.
+
+    The query-side sibling of :func:`bfs_distances_blocked`: 64 sources
+    share each sweep, and on top of the level expansion it answers
+    per-pair *probes* — "is ``probe_dst[i]`` within ``probe_depth[i]``
+    hops of ``sources[probe_src[i]]``?" — by testing the destination's
+    visited bit at exactly the probe's checkpoint level.  This is what
+    replaces the per-pair scalar contact walks of the online BFS
+    baselines and the (h,k)-reach batch engine.
+
+    Parameters
+    ----------
+    sources:
+        Strictly increasing int64 vertex ids (``np.unique`` output).
+    probe_src / probe_dst / probe_depth:
+        Aligned probe arrays: index into ``sources``, target vertex id,
+        and hop checkpoint (use any value ``>= g.n`` for "unbounded").
+    depths:
+        Optional per-source expansion bound; each 64-source block expands
+        to the max bound in the block (probe verdicts still honor their
+        own checkpoints exactly).  ``None`` expands to exhaustion.  Every
+        probe's checkpoint must be covered by its source's bound.
+    emit:
+        Optional bool mask over vertex ids; when given, the kernel also
+        returns ``(src_pos, dst, dist)`` triples — ``src_pos`` **indexes
+        into** ``sources`` — for every emitted vertex reached within the
+        block's depth, exactly like :func:`bfs_distances_blocked` (a
+        source never reports itself).  ``None`` emits nothing and lets a
+        block stop early once all its probes are resolved.
+
+    Returns ``(hits, (src_pos, dst, dist))`` with ``hits`` aligned to the
+    probe arrays.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    if len(sources) > 1 and not bool(np.all(sources[:-1] < sources[1:])):
+        raise ValueError("sources must be strictly increasing and unique")
+    if len(sources) and (int(sources[0]) < 0 or int(sources[-1]) >= g.n):
+        raise ValueError(f"source out of range [0, {g.n})")
+    indptr, indices = _csr(g, direction)
+    probe_src = np.asarray(probe_src, dtype=np.int64)
+    probe_dst = np.asarray(probe_dst, dtype=np.int64)
+    probe_depth = np.asarray(probe_depth, dtype=np.int64)
+    if emit is not None:
+        emit = np.asarray(emit, dtype=bool)
+
+    hits = np.zeros(len(probe_src), dtype=bool)
+    out_src: list[np.ndarray] = []
+    out_dst: list[np.ndarray] = []
+    out_dist: list[np.ndarray] = []
+    # Probes grouped by source block: one argsort, then per-block slices.
+    probe_order = np.argsort(probe_src, kind="stable")
+    sorted_src = probe_src[probe_order]
+    visited = np.zeros(g.n, dtype=np.uint64)
+
+    for start in range(0, len(sources), 64):
+        block = sources[start : start + 64]
+        width = len(block)
+        bit = np.uint64(1) << np.arange(width, dtype=np.uint64)
+        if start:
+            visited[:] = 0
+        visited[block] = bit  # sources are unique, so plain assignment
+        lo = int(np.searchsorted(sorted_src, start))
+        hi = int(np.searchsorted(sorted_src, start + width))
+        bp = probe_order[lo:hi]  # this block's probe positions
+        shifts = (probe_src[bp] - start).astype(np.uint64)
+        dsts = probe_dst[bp]
+        budgets = probe_depth[bp]
+        active = np.ones(len(bp), dtype=bool)
+        if depths is None:
+            block_depth = None
+        else:
+            block_depth = int(depths[start : start + width].max()) if width else 0
+
+        def probe_pass(level: int) -> None:
+            nonlocal active
+            if not active.any():
+                return
+            idx = np.flatnonzero(active)
+            got = (visited[dsts[idx]] >> shifts[idx]) & np.uint64(1) != 0
+            within = got & (level <= budgets[idx])
+            hits[bp[idx[within]]] = True
+            done = within | (budgets[idx] <= level)
+            active[idx[done]] = False
+
+        probe_pass(0)
+        front_v, front_m = _or_group(block, bit)
+        level = 0
+        while len(front_v) and (block_depth is None or level < block_depth):
+            if emit is None and not active.any():
+                break
+            starts = indptr[front_v].astype(np.int64)
+            counts = (indptr[front_v + 1] - indptr[front_v]).astype(np.int64)
+            total = int(counts.sum())
+            if total == 0:
+                break
+            offsets = np.zeros(len(counts), dtype=np.int64)
+            np.cumsum(counts[:-1], out=offsets[1:])
+            positions = (
+                np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+            )
+            nbrs = indices[positions].astype(np.int64)
+            masks = np.repeat(front_m, counts)
+            nv, nm = _or_group(nbrs, masks)
+            nm &= ~visited[nv]
+            fresh = nm != 0
+            nv = nv[fresh]
+            nm = nm[fresh]
+            if not len(nv):
+                break
+            visited[nv] |= nm
+            level += 1
+            if emit is not None:
+                sel = emit[nv]
+                hit_v, hit_m = nv[sel], nm[sel]
+                if len(hit_v):
+                    bits = np.unpackbits(
+                        np.ascontiguousarray(hit_m).view(np.uint8).reshape(-1, 8),
+                        axis=1,
+                        bitorder="little",
+                    )[:, :width]
+                    rows, cols = np.nonzero(bits)
+                    out_src.append(start + cols.astype(np.int64))
+                    out_dst.append(hit_v[rows])
+                    out_dist.append(np.full(len(rows), level, dtype=np.int64))
+            probe_pass(level)
+            front_v, front_m = nv, nm
+        # The ball is exhausted (or depth-capped past every unresolved
+        # checkpoint): remaining probes resolve against the final visited.
+        if active.any():
+            budgets[:] = level  # force resolution at the current level
+            probe_pass(level)
+
+    if not out_src:
+        empty = np.empty(0, dtype=np.int64)
+        triples = (empty, empty.copy(), empty.copy())
+    else:
+        triples = (
+            np.concatenate(out_src),
+            np.concatenate(out_dst),
+            np.concatenate(out_dist),
+        )
+    return hits, triples
+
+
+def bulk_reaches_within(
+    g: DiGraph, s: np.ndarray, t: np.ndarray, k: int | None
+) -> np.ndarray:
+    """Vectorized ``d(s[i], t[i]) <= k`` over aligned pair arrays.
+
+    The blocked-MS-BFS replacement for looping
+    :func:`reaches_within_bfs`: pairs sharing a source share its ball
+    expansion, 64 distinct sources share each sweep, and a block stops as
+    soon as all its probes are resolved.  ``k=None`` means unbounded
+    reachability.  Answers are bit-identical to the scalar loop.
+    """
+    out = s == t
+    if k is not None and k <= 0:
+        return out if k == 0 else np.zeros(len(s), dtype=bool)
+    rest = np.flatnonzero(~out)
+    if not len(rest):
+        return out
+    uniq, inv = np.unique(s[rest], return_inverse=True)
+    cap = np.int64(g.n if k is None else k)
+    depth = None if k is None else np.full(len(uniq), cap, dtype=np.int64)
+    hits, _ = blocked_ball_probe(
+        g,
+        uniq,
+        inv,
+        t[rest],
+        np.full(len(rest), cap, dtype=np.int64),
+        depths=depth,
+    )
+    out[rest[hits]] = True
+    return out
 
 
 def bfs_distances_scalar(

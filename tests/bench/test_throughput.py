@@ -42,9 +42,16 @@ def test_batch_beats_scalar_loop_with_identical_answers():
 
 
 def test_run_throughput_agrees():
-    config = SuiteConfig(datasets=("GO",), scale=0.05, queries=500, seed=3)
+    config = SuiteConfig(
+        datasets=("GO",), scale=0.05, queries=500, bfs_queries=200, seed=3
+    )
     table = run_throughput(config)
-    assert len(table.rows) == 3  # k = 2, 6, n
+    # GO: k-reach k = 2/6/n plus (2,k)-reach k = 6/n; HubStress: k = 2/6/n;
+    # and the TOTAL aggregation row CI gates on.
+    assert len(table.rows) == 9
+    datasets = {row["dataset"] for row in table.rows}
+    assert datasets == {"GO", "HubStress", "TOTAL"}
     for row in table.rows:
         assert row["agree"] == "yes"
-        assert row["dataset"] == "GO"
+    total = next(r for r in table.rows if r["dataset"] == "TOTAL")
+    assert total["scalar µs/q"] > 0 and total["bitset µs/q"] > 0
