@@ -30,6 +30,7 @@ __all__ = [
     "words_for",
     "matrix_bytes",
     "bit_matrix",
+    "set_bits",
     "or_rows_segmented",
     "and_any",
     "probe_bits",
@@ -88,6 +89,26 @@ def bit_matrix(
     flat = out.reshape(-1)
     flat[keys[bounds]] = np.bitwise_or.reduceat(values, bounds)
     return out
+
+
+def set_bits(matrix: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """In-place scatter: set bit ``cols[i]`` of ``matrix[rows[i]]``.
+
+    The patch half of an overlay rebuild: unlike a fancy-index ``|=``
+    (which silently drops duplicate ``(row, word)`` targets), the
+    unbuffered ``bitwise_or.at`` accumulates every entry, so callers may
+    pass arbitrary duplicated scatter streams.  Returns ``matrix``.
+    """
+    if len(rows) == 0:
+        return matrix
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    np.bitwise_or.at(
+        matrix,
+        (rows, cols >> 6),
+        np.uint64(1) << (cols & 63).astype(np.uint64),
+    )
+    return matrix
 
 
 def or_rows_segmented(

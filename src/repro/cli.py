@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli table2 --scale 0.2
     python -m repro.cli table3-4-5 --scale 1.0 --queries 100000 --workers 4
     python -m repro.cli throughput --scale 0.2 --queries 100000
+    python -m repro.cli dynamic --scale 0.2 --json BENCH_dynamic.json
     python -m repro.cli build --scale 0.2 --json build.json
     python -m repro.cli all --scale 0.2 --output results.txt
     kreach-bench table8            # installed console script
@@ -13,9 +14,11 @@ Query-timing experiments (Tables 5/7 and ``throughput``) run through the
 vectorized batch engine — ``--engine`` picks which one for the k-reach
 columns (``auto`` / ``bitset`` / ``chunked`` / ``scalar``).
 ``throughput`` always compares all engines per row (with per-case
-timings and the scalar-vs-bitset speedup CI gates on), and ``build``
-compares the blocked MS-BFS construction path against the per-source
-serial build.
+timings and the scalar-vs-bitset speedup CI gates on), ``dynamic``
+replays churn traces through the snapshot+overlay dynamic engine, the
+scalar dynamic path, and a rebuild-per-batch baseline (CI gates
+overlay >= scalar on the TOTAL row), and ``build`` compares the blocked
+MS-BFS construction path against the per-source serial build.
 
 Every experiment accepts ``--scale`` (1.0 = paper-sized graphs),
 ``--queries``, ``--datasets`` (comma-separated subset), ``--seed``, and

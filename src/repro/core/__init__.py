@@ -17,7 +17,12 @@ from repro.core.index_graph import (
 from repro.core.kreach import KReachIndex
 from repro.core.parallel import build_kreach_parallel, parallel_khop_triples
 from repro.core.rowstore import CompressedRow, compress_rows
-from repro.core.serialize import load_kreach, save_kreach
+from repro.core.serialize import (
+    load_dynamic,
+    load_kreach,
+    save_dynamic,
+    save_kreach,
+)
 from repro.core.vertex_cover import (
     COVER_STRATEGIES,
     cover_from_strategy,
@@ -41,6 +46,8 @@ __all__ = [
     "parallel_khop_triples",
     "save_kreach",
     "load_kreach",
+    "save_dynamic",
+    "load_dynamic",
     "CoverDistanceOracle",
     "GeometricKReachFamily",
     "ExactKFamily",

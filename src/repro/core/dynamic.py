@@ -1,51 +1,121 @@
-"""Incrementally maintained k-reach index.
+"""Snapshot + delta-overlay dynamic k-reach engine.
 
 The paper builds its index once over a static graph; its related work
 (Bramandia et al. [3], on incremental 2-hop maintenance) raises the
 obvious follow-up — keeping the index consistent as the graph changes.
-:class:`DynamicKReachIndex` answers that for k-reach:
+:class:`DynamicKReachIndex` answers that with an LSM-style two-tier
+architecture:
 
-* **Edge insertion** is cheap, because every quantity the index stores is
-  a *minimum*: distances only shrink.  Inserting ``(u, v)``:
+* **Base snapshot** — an immutable :class:`~repro.core.kreach.KReachIndex`
+  over the graph as of the last compaction: the §4.3 CSR
+  :class:`~repro.core.index_graph.IndexGraph` substrate, its zero-copy
+  :class:`~repro.core.batch.KeyedRowStore`, and its cached bitset link
+  matrices.  Nothing in this tier ever mutates.
+* **Delta overlay** — the small mutable tail: the cover rows *replaced*
+  since the snapshot (copy-on-write, full-row semantics), sparse
+  *min-patches* on otherwise-clean rows, the vertices whose adjacency
+  diverged from the snapshot graph, the cover vertices added since, and
+  the replayable operation log the v3 on-disk format
+  (:func:`~repro.core.serialize.save_dynamic`) persists.
 
-  1. repairs the vertex-cover invariant — if neither endpoint is covered,
-     the higher-degree endpoint joins the cover (§4.3 spirit), gaining a
-     forward row and backward in-links from a pair of bounded BFS sweeps;
-  2. relaxes cover-pair weights through the new edge:
-     ``d(x, y) ≤ d(x, u) + 1 + d(v, y)``, evaluated over the backward
-     ``(k-1)``-ball of ``u`` and the forward ``(k-1)``-ball of ``v``
-     restricted to cover vertices.
+Queries — scalar *and* :meth:`DynamicKReachIndex.query_batch` — route
+through the same four-case Algorithm 2 the static engine runs.  Batch
+reads stay on the PR-3 bulk paths under write churn: Case 1 is one
+two-tier weight gather (dirty sources override the base store), Cases
+2/3 gather neighbors from the base CSR for clean vertices and patch in
+overlay adjacency for the few dirty ones, and Case 4 joins against a
+*patched* link matrix — the base snapshot's cached matrix with dirty
+rows masked out and refilled from overlay lookups, extended with the
+cover vertices added since the snapshot.
 
-* **Edge deletion** is the hard direction (distances can grow, and stored
-  minima cannot be "un-relaxed"), so it falls back to partial
-  recomputation: every cover vertex that could reach ``u`` within ``k-1``
-  hops rebuilds its row with a fresh bounded BFS.  The cover itself stays
-  valid under deletions (removing edges never uncovers one).
+**Maintenance** is the same incremental algebra as before, applied to
+the overlay:
 
-The class keeps its own mutable adjacency (the static
-:class:`~repro.graph.digraph.DiGraph` is by design immutable) and its own
-mutable weight store — vertex-indexed row dicts, the update-friendly
-mirror of the static :class:`~repro.core.index_graph.IndexGraph` (row
-replacement is one list-slot swap; there is no outer hash layer) — and
-answers queries with the same four-case Algorithm 2.  Equivalence
-against a freshly built
-:class:`~repro.core.kreach.KReachIndex` after arbitrary update sequences
-is the central test invariant, and :meth:`DynamicKReachIndex.freeze`
-emits exactly such a static index through the array path once a burst of
-updates settles.
+* **Edge insertion** is cheap, because every stored quantity is a
+  *minimum*: distances only shrink.  Inserting ``(u, v)`` repairs the
+  vertex-cover invariant (the higher-degree uncovered endpoint joins the
+  cover) and relaxes cover-pair weights through the new edge —
+  ``d(x, y) ≤ d(x, u) + 1 + d(v, y)`` over the backward/forward
+  ``(k-1)``-balls.  The candidate relaxations are *queued as arrays*
+  (one vectorized outer sum per insert) and min-merged into the overlay
+  at the next read — one sort + one bulk lookup per write burst instead
+  of a Python probe per candidate pair — dirtying exactly the rows that
+  improve.
+* **Edge deletion** is the hard direction (stored minima cannot be
+  "un-relaxed").  The affected rows are pinned *exactly* at delete time
+  by comparing ``v``'s backward k-ball before and after the removal —
+  on well-connected graphs almost every deleted edge has same-length
+  alternates, so most deletions pin nothing — and the recomputation is
+  *deferred* to the next read: consecutive deletions in a write burst
+  share one repair pass, which runs 64 rows per sweep through the same
+  blocked bit-parallel MS-BFS the static builder uses, and a repair
+  crossing the compaction threshold merges straight into a fresh
+  snapshot without ever materializing dict rows.
+
+**Compaction** bounds the overlay: once the replaced-row count crosses
+``max(compaction_min_rows, compaction_ratio · |S_base|)`` (checked after
+every write and read-side flush when ``auto_compact`` is on),
+:meth:`compact` merges clean
+base rows (array mask + concatenate, no per-edge Python) with the
+overlay rows into a fresh :class:`IndexGraph` and promotes it — with the
+current graph snapshot — to the new base; ``rebuild=True`` instead
+re-derives every row from the graph through the blocked bit-parallel
+MS-BFS builder (useful after heavy churn, when a fresh degree-ordered
+cover can undo the monotone cover growth).  :meth:`freeze` is compaction
+promoted to an API: settle the overlay and hand back the static base
+snapshot for the serving/serialization paths.
+
+Equivalence after arbitrary update sequences — against a freshly built
+static index, against :meth:`freeze`'s output, and against the BFS
+oracle — is the central test invariant
+(``tests/core/test_dynamic.py``).
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
+from repro.bitsets.ops import (
+    DEFAULT_MATRIX_BYTES,
+    matrix_bytes,
+    set_bits,
+    words_for,
+)
+from repro.core.batch import (
+    MISSING_WEIGHT,
+    UNBOUNDED_BUDGET,
+    KeyedRowStore,
+    as_pair_arrays,
+    case4_bitset_join,
+    case_codes,
+    gather_segments,
+    segment_any,
+)
 from repro.core.index_graph import IndexGraph
 from repro.core.kreach import KReachIndex
 from repro.graph.digraph import DiGraph
+from repro.graph.traversal import bfs_distances_blocked
 
-__all__ = ["DynamicKReachIndex"]
+__all__ = ["DynamicKReachIndex", "OP_INSERT", "OP_DELETE"]
+
+#: Operation codes of the replayable delta log (the v3 on-disk format
+#: stores the log as an ``(ops, 3)`` int64 array of ``(op, u, v)`` rows).
+OP_INSERT = 0
+OP_DELETE = 1
+
+_ENGINES = ("auto", "bitset", "scalar")
+
+#: Affected-row count at which a deletion repairs through one blocked
+#: bit-parallel MS-BFS over the current graph instead of per-row scalar
+#: sweeps.  The blocked path pays an O(n + m) graph snapshot up front,
+#: so tiny repair sets stay on the scalar sweeps.
+_BLOCKED_REBUILD_MIN = 16
+
+#: Caps on queued insert-relaxation candidates: the outer-product chunk
+#: size per insert, and the total queue volume at which the pending
+#: candidates are min-merged early instead of waiting for the next read.
+_RELAX_CHUNK = 1 << 22
+_RELAX_QUEUE_MAX = 1 << 24
 
 
 class DynamicKReachIndex:
@@ -54,9 +124,26 @@ class DynamicKReachIndex:
     Parameters
     ----------
     graph:
-        Initial graph; copied into mutable adjacency.
+        Initial graph; becomes the first base snapshot.
     k:
         Hop budget (``None`` for the classic-reachability mode).
+    compaction_ratio:
+        Overlay size ratio triggering automatic compaction: the overlay
+        merges into a fresh base snapshot once its dirty-row count
+        reaches this fraction of the base cover size.
+    compaction_min_rows:
+        Floor under the ratio trigger.  A single k-hop deletion can
+        dirty every cover row within its backward ball, so a floor well
+        above typical ball sizes keeps small covers from compacting
+        after every other write.
+    auto_compact:
+        Run the threshold check after every update (default).  Off, the
+        overlay grows until an explicit :meth:`compact` / :meth:`freeze`.
+    bitset_matrix_bytes:
+        Memory ceiling for the patched Case-4 link matrix (~|S|²/8
+        bytes), mirroring the static index's parameter.  Batches whose
+        cover exceeds it fall back to the scalar Case-4 walk under
+        ``engine='auto'``.
 
     Examples
     --------
@@ -72,25 +159,142 @@ class DynamicKReachIndex:
     False
     """
 
-    def __init__(self, graph: DiGraph, k: int | None) -> None:
+    def __init__(
+        self,
+        graph: DiGraph,
+        k: int | None,
+        *,
+        compaction_ratio: float = 0.5,
+        compaction_min_rows: int = 64,
+        auto_compact: bool = True,
+        bitset_matrix_bytes: int = DEFAULT_MATRIX_BYTES,
+    ) -> None:
         if k is not None and k < 0:
             raise ValueError(f"k must be non-negative or None, got {k}")
-        self.n = graph.n
+        self._init_config(
+            graph.n,
+            k,
+            compaction_ratio,
+            compaction_min_rows,
+            auto_compact,
+            bitset_matrix_bytes,
+        )
+        self._install_base(
+            KReachIndex(graph, k, bitset_matrix_bytes=bitset_matrix_bytes)
+        )
+
+    @classmethod
+    def from_base(
+        cls,
+        base: KReachIndex,
+        *,
+        compaction_ratio: float = 0.5,
+        compaction_min_rows: int = 64,
+        auto_compact: bool = True,
+    ) -> "DynamicKReachIndex":
+        """Wrap an existing static index as the base snapshot (no build).
+
+        The on-disk loader (:func:`~repro.core.serialize.load_dynamic`)
+        uses this to install a validated snapshot before replaying the
+        pending delta log; it also lets a settled :meth:`freeze` output
+        re-enter dynamic service without paying a reconstruction.
+        """
+        self = object.__new__(cls)
+        self._init_config(
+            base.graph.n,
+            base.k,
+            compaction_ratio,
+            compaction_min_rows,
+            auto_compact,
+            base.bitset_matrix_bytes,
+        )
+        self._install_base(base)
+        return self
+
+    def _init_config(
+        self,
+        n: int,
+        k: int | None,
+        compaction_ratio: float,
+        compaction_min_rows: int,
+        auto_compact: bool,
+        bitset_matrix_bytes: int,
+    ) -> None:
+        """Validate and set the shared constructor/from_base fields."""
+        if compaction_ratio <= 0:
+            raise ValueError(
+                f"compaction_ratio must be positive, got {compaction_ratio}"
+            )
+        if compaction_min_rows < 1:
+            raise ValueError(
+                f"compaction_min_rows must be >= 1, got {compaction_min_rows}"
+            )
+        self.n = n
         self.k = k
-        self._out: list[set[int]] = [set(row) for row in graph.out_lists()]
-        self._in: list[set[int]] = [set(row) for row in graph.in_lists()]
-        base = KReachIndex(graph, k)
+        self.compaction_ratio = float(compaction_ratio)
+        self.compaction_min_rows = int(compaction_min_rows)
+        self.auto_compact = bool(auto_compact)
+        self.bitset_matrix_bytes = int(bitset_matrix_bytes)
+        self.compactions = 0
+        self._b1_ok = k is None or k >= 1  # may a u == v handshake use k-1?
+        self._b2_ok = k is None or k >= 2  # ... use k-2?
+
+    def _install_base(self, base: KReachIndex) -> None:
+        """Promote ``base`` to the immutable tier and reset the overlay."""
+        self._base = base
+        g = base.graph
+        self._out: list[set[int]] = [set(row) for row in g.out_lists()]
+        self._in: list[set[int]] = [set(row) for row in g.in_lists()]
         self._cover: set[int] = set(base.cover)
-        # Mutable weight store: vertex-indexed row dicts (None = no row).
-        # Row replacement — the deletion hot path — swaps one list slot
-        # for a freshly built dict; there is no outer hash layer to keep
-        # consistent.  Seeded straight from the static index's arrays.
-        self._rows: list[dict[int, int] | None] = [None] * graph.n
-        for u, row in base.index_graph.rows_dict().items():
-            self._rows[u] = row
+        # Overlay state: everything that diverged since the snapshot.
+        self._delta: dict[int, dict[int, int]] = {}
+        # Per-row flattened (sorted dst, w) views of delta rows; entries
+        # drop when their row changes, so a flush re-flattens only what
+        # moved instead of the whole overlay.
+        self._row_arrays: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Min-patches: sparse {y: w} improvements on top of CLEAN base
+        # rows (insert relaxations rarely touch more than a few entries,
+        # and a full-row copy per improvement would dirty the row, mask
+        # it out of the base link matrix, and push it toward compaction
+        # for no reason).  Invariant: patch keys never overlap delta
+        # keys — improvements on an already-replaced row go into its
+        # delta dict directly, and a repair drops the row's patch.
+        self._patch: dict[int, dict[int, int]] = {}
+        self._cover_added: list[int] = []
+        self._dirty_out: set[int] = set()
+        self._dirty_in: set[int] = set()
+        self._pending_repair: set[int] = set()
+        self._pending_relax: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = []
+        self._pending_relax_size = 0
+        self._log: list[tuple[int, int, int]] = []
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Drop every derived batch view; they rebuild on next use.
+
+        Only base promotion needs this.  Ordinary writes maintain the
+        O(n) views (cover flags, position map, dirty-adjacency flags)
+        *incrementally* and drop just the delta-dependent ones in
+        :meth:`_after_write` — otherwise every write would make the next
+        batch pay full O(n) rebuilds.
+        """
+        self._flags_np: np.ndarray | None = None
+        self._row_pos_np: np.ndarray | None = None
+        self._delta_cache: (
+            tuple[KeyedRowStore, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+            | None
+        ) = None
+        self._patch_cache: (
+            tuple[KeyedRowStore, np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
+        self._dirty_out_np: np.ndarray | None = None
+        self._dirty_in_np: np.ndarray | None = None
+        self._matrix_cache: tuple[np.ndarray | None] | None = None
 
     # ------------------------------------------------------------------
-    # Internal helpers
+    # Internal helpers (maintenance algebra)
     # ------------------------------------------------------------------
     def _quantize(self, dist: int) -> int:
         if self.k is None:
@@ -98,125 +302,499 @@ class DynamicKReachIndex:
         floor = self.k - 2
         return dist if dist > floor else floor
 
-    def _bounded_ball(
-        self, source: int, limit: int | None, adjacency: list[set[int]]
-    ) -> dict[int, int]:
-        """BFS distances over the mutable adjacency, ``limit`` hops deep."""
-        dist = {source: 0}
-        queue: deque[int] = deque([source])
-        while queue:
-            x = queue.popleft()
-            d = dist[x]
-            if limit is not None and d >= limit:
-                continue
-            for y in adjacency[x]:
-                if y not in dist:
-                    dist[y] = d + 1
-                    queue.append(y)
+    def _ball_dists(
+        self, source: int, limit: int | None, direction: str
+    ) -> np.ndarray:
+        """BFS distances from ``source``, ``limit`` hops deep, as a full
+        ``(n,)`` int64 array (-1 = unreached).
+
+        Level-synchronous over the same clean/dirty adjacency split the
+        batch engine gathers through (:meth:`_gather`): clean frontier
+        vertices expand via the base snapshot's CSR in bulk, only
+        diverged vertices read their mutable sets.  This is the
+        maintenance path's workhorse — insert relaxation balls and the
+        deletion pin test both consume the arrays directly.
+        """
+        dist = np.full(self.n, -1, dtype=np.int64)
+        dist[source] = 0
+        adjacency = self._out if direction == "out" else self._in
+        frontier: list[int] = [source]
+        d = 0
+        while frontier and (limit is None or d < limit):
+            d += 1
+            if len(frontier) < 96:
+                # Narrow frontier: plain set hops beat numpy dispatch.
+                nxt: list[int] = []
+                for x in frontier:
+                    for y in adjacency[x]:
+                        if dist[y] < 0:
+                            dist[y] = d
+                            nxt.append(y)
+                frontier = nxt
+            else:
+                nbrs, _ = self._gather(
+                    np.asarray(frontier, dtype=np.int64), direction
+                )
+                nbrs = np.unique(nbrs)
+                new = nbrs[dist[nbrs] < 0]
+                dist[new] = d
+                frontier = new.tolist()
         return dist
 
-    def _set_link(self, x: int, y: int, dist: int) -> None:
-        """Relax the stored weight of (x, y) to at most quantize(dist)."""
-        if x == y:
+    def _row_get(self, x: int, y: int) -> int | None:
+        """Current stored weight of (x, y): overlay row or base, min'd
+        with the row's pending insert patch."""
+        row = self._delta.get(x)
+        if row is not None:
+            w = row.get(y)
+        else:
+            w = self._base.index_graph.flat().get(x * self.n + y)
+            prow = self._patch.get(x)
+            if prow is not None:
+                pw = prow.get(y)
+                if pw is not None and (w is None or pw < w):
+                    w = pw
+        return w
+
+    def _queue_relax(
+        self, xs: np.ndarray, ys: np.ndarray, dists: np.ndarray
+    ) -> None:
+        """Queue candidate relaxations ``d(x, y) <= dist`` for the flush.
+
+        Candidates carry raw distances; quantization and the min-merge
+        against the stored rows happen in bulk at
+        :meth:`_apply_relaxations`.  Self-pairs and over-budget
+        candidates are assumed already filtered by the caller.
+        """
+        if not len(xs):
             return
-        if self.k is not None and dist > self.k:
+        self._pending_relax.append((xs, ys, dists))
+        self._pending_relax_size += len(xs)
+        if self._pending_relax_size > _RELAX_QUEUE_MAX:
+            self._apply_relaxations()
+
+    def _apply_relaxations(self) -> None:
+        """Min-merge the queued insert candidates into the overlay.
+
+        One concatenation + sort gives the best candidate per (x, y);
+        one bulk lookup over all tiers finds the pairs that actually
+        improve; only those touch Python dicts — an entry in the row's
+        min-patch when the row is clean, an in-place update when the row
+        was already replaced.  No candidate ever dirties a clean row
+        (replaced rows are masked out of the base link matrix and count
+        toward the compaction threshold; patches just OR extra bits in).
+        """
+        if not self._pending_relax:
             return
-        w = self._quantize(dist)
-        row = self._rows[x]
-        if row is None:
-            row = self._rows[x] = {}
-        old = row.get(y)
-        if old is None or w < old:
-            row[y] = w
+        parts = self._pending_relax
+        self._pending_relax = []
+        self._pending_relax_size = 0
+        xs = np.concatenate([p[0] for p in parts])
+        ys = np.concatenate([p[1] for p in parts])
+        dists = np.concatenate([p[2] for p in parts])
+        if self.k is None:
+            w = np.zeros(len(dists), dtype=np.int64)
+        else:
+            w = np.maximum(dists, self.k - 2)
+        keys = xs * self.n + ys
+        if self.k is None:
+            order = np.argsort(keys, kind="stable")  # weights all equal
+        elif self.n < (1 << 30):
+            # Quantized weights span {k-2, k-1, k}: fuse them into the
+            # low bits so one radix pass orders by (key, weight).
+            order = np.argsort(keys * np.int64(4) + (w - (self.k - 2)))
+        else:
+            order = np.lexsort((w, keys))
+        kk = keys[order]
+        ww = w[order]
+        first = np.empty(len(kk), dtype=bool)
+        first[0] = True
+        np.not_equal(kk[1:], kk[:-1], out=first[1:])
+        bounds = np.flatnonzero(first)
+        ukeys = kk[bounds]
+        uw = ww[bounds]  # sorted by (key, w): first entry per key is min
+        ux = ukeys // self.n
+        uy = ukeys % self.n
+        improved = uw < self._lookup(ux, uy)
+        if not bool(improved.any()):
+            return
+        delta = self._delta
+        patch = self._patch
+        drop_arrays = self._row_arrays.pop
+        for x, y, wv in zip(
+            ux[improved].tolist(), uy[improved].tolist(), uw[improved].tolist()
+        ):
+            row = delta.get(x)
+            if row is not None:  # already-replaced row: update in place
+                row[y] = wv
+                drop_arrays(x, None)
+                self._delta_cache = None
+                continue
+            prow = patch.get(x)
+            if prow is None:
+                prow = patch[x] = {}
+            prow[y] = wv
+        self._patch_cache = None
+        self._matrix_cache = None
 
     def _rebuild_row(self, x: int) -> None:
         """Recompute cover vertex ``x``'s row with a fresh bounded BFS."""
-        cover = self._cover
-        ball = self._bounded_ball(x, self.k, self._out)
-        ball.pop(x, None)
-        row: dict[int, int] = {}
-        if self.k is None:  # quantization inlined: this loop is the
-            for v in ball:  # maintenance hot path (millions of targets)
-                if v in cover:
-                    row[v] = 0
+        dist = self._ball_dists(x, self.k, "out")
+        mask = (dist >= 0) & self._flags()
+        mask[x] = False
+        hit = np.flatnonzero(mask)
+        if self.k is None:
+            row = dict.fromkeys(hit.tolist(), 0)
         else:
-            floor = self.k - 2
-            for v, d in ball.items():
-                if v in cover:
-                    row[v] = d if d > floor else floor
-        self._rows[x] = row or None
+            weights = np.maximum(dist[hit], self.k - 2)
+            row = dict(zip(hit.tolist(), weights.tolist()))
+        # An empty dict is meaningful: the row exists and has no edges
+        # (absence from the overlay means "clean", not "empty").
+        self._delta[x] = row
+        self._row_arrays.pop(x, None)
+        # A fresh recompute supersedes the row's pending patch and repair.
+        if self._patch.pop(x, None) is not None:
+            self._patch_cache = None
+        self._pending_repair.discard(x)
+
+    def _rebuild_rows_blocked(self, affected: list[int]) -> None:
+        """Recompute many dirtied rows in one blocked MS-BFS pass.
+
+        A deletion on a dense region can dirty most of the cover; per-row
+        scalar sweeps would then cost nearly a full rebuild in Python
+        loops.  Instead the affected rows ride the same 64-sources-per-
+        sweep bit-parallel kernel Algorithm-1 construction uses, against
+        a snapshot of the current adjacency.  When the repair set alone
+        crosses the compaction threshold, the fresh triples merge
+        straight into a new base snapshot — arrays to arrays, never
+        materializing a dict overlay that the very next write burst
+        would flatten again.
+        """
+        g = self.to_digraph()
+        in_cover = self._bool_flags(self._cover)
+        sources = np.unique(np.asarray(affected, dtype=np.int64))
+        src, dst, dist = bfs_distances_blocked(
+            g, sources, k=self.k, emit=in_cover
+        )
+        # A repair crossing the compaction threshold merges straight
+        # into a fresh snapshot — the overlay would only hand the same
+        # rows to a compaction moments later.  Anything smaller lands in
+        # the overlay as dict rows whose flattened-array views are
+        # seeded below for free.
+        if self.auto_compact and len(sources) >= self.compaction_threshold:
+            self._compact_with_repair(g, sources, src, dst, dist)
+            return
+        if self.k is None:
+            w = np.zeros(len(dist), dtype=np.int64)
+        else:
+            w = np.maximum(dist, self.k - 2)
+        order = np.argsort(src * np.int64(self.n) + dst)
+        src, dst, w = src[order], dst[order], w[order]
+        starts = np.searchsorted(src, sources, side="left")
+        stops = np.searchsorted(src, sources, side="right")
+        for x, lo, hi in zip(sources.tolist(), starts.tolist(), stops.tolist()):
+            xi = int(x)
+            self._delta[xi] = dict(zip(dst[lo:hi].tolist(), w[lo:hi].tolist()))
+            # The fused-key sort leaves each row's targets ascending, so
+            # the slices double as the row's flattened-array cache.
+            self._row_arrays[xi] = (dst[lo:hi], w[lo:hi])
+            if self._patch.pop(xi, None) is not None:
+                self._patch_cache = None
+
+    def _materialize_patches(self) -> None:
+        """Fold the pending insert patches into full delta rows.
+
+        Only the compaction merges need this — steady-state queries read
+        patches through their own store — so the full-row copies are
+        paid once per compaction instead of once per improvement.
+        """
+        if not self._patch:
+            return
+        row_dict = self._base.index_graph.row_dict
+        for x, prow in self._patch.items():
+            row = self._delta.get(x)
+            if row is None:
+                row = self._delta[x] = row_dict(x)
+            for y, w in prow.items():
+                old = row.get(y)
+                if old is None or w < old:
+                    row[y] = w
+            self._row_arrays.pop(x, None)
+        self._patch.clear()
+        self._patch_cache = None
+        self._delta_cache = None
+
+    def _compact_with_repair(
+        self,
+        g: DiGraph,
+        repaired: np.ndarray,
+        r_src: np.ndarray,
+        r_dst: np.ndarray,
+        r_dist: np.ndarray,
+    ) -> None:
+        """Mass-repair compaction: clean base rows + surviving overlay
+        rows + freshly repaired triples merge into a new base snapshot.
+
+        ``r_dist`` carries raw BFS distances; :meth:`IndexGraph.for_kreach`
+        applies the same quantization to them and (idempotently) to the
+        already-quantized stored weights, so both streams concatenate.
+        """
+        self._materialize_patches()
+        cover = frozenset(self._cover)
+        base_src, base_dst, base_w = self._base.index_graph.triples()
+        repaired_flag = np.zeros(self.n, dtype=bool)
+        repaired_flag[repaired] = True
+        parts = [(r_src, r_dst, r_dist)]
+        exclude = repaired_flag
+        if self._delta:
+            _, dirty, d_src, d_dst, d_w = self._delta_store()
+            survive = ~repaired_flag[d_src]
+            parts.append((d_src[survive], d_dst[survive], d_w[survive]))
+            exclude = repaired_flag | dirty
+        keep = ~exclude[base_src]
+        parts.append((base_src[keep], base_dst[keep], base_w[keep]))
+        src = np.concatenate([p[0] for p in parts])
+        dst = np.concatenate([p[1] for p in parts])
+        w = np.concatenate([p[2] for p in parts])
+        ig = IndexGraph.for_kreach(self.n, cover, src, dst, w, self.k)
+        base = KReachIndex.from_index_graph(
+            g,
+            self.k,
+            cover=cover,
+            index_graph=ig,
+            bitset_matrix_bytes=self.bitset_matrix_bytes,
+        )
+        self.compactions += 1
+        self._install_base(base)
+
+    def _cover_ball_arrays(
+        self, dist: np.ndarray, exclude: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(vertices, dists)`` of a ball's cover members."""
+        mask = (dist >= 0) & self._flags()
+        if 0 <= exclude < self.n:
+            mask[exclude] = False
+        verts = np.flatnonzero(mask)
+        return verts, dist[verts]
 
     def _add_to_cover(self, w: int) -> None:
         """Grow the cover by ``w``: forward row + backward in-links."""
         self._cover.add(w)
+        self._cover_added.append(w)
+        if self._flags_np is not None:
+            self._flags_np[w] = True
+        if self._row_pos_np is not None:
+            self._row_pos_np[w] = (
+                self._base.index_graph.cover_size + len(self._cover_added) - 1
+            )
         self._rebuild_row(w)
-        back = self._bounded_ball(w, self.k, self._in)
-        for x, d in back.items():
-            if x != w and x in self._cover:
-                self._set_link(x, w, d)
+        bx, bd = self._cover_ball_arrays(
+            self._ball_dists(w, self.k, "in"), w
+        )
+        self._queue_relax(bx, np.full(len(bx), w, dtype=np.int64), bd)
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
     def insert_edge(self, u: int, v: int) -> None:
-        """Insert the directed edge ``(u, v)`` and repair the index."""
+        """Insert the directed edge ``(u, v)`` and repair the overlay."""
         self._check(u, v)
         if u == v or v in self._out[u]:
             return  # self-loops ignored (simple graphs), duplicates no-op
         self._out[u].add(v)
         self._in[v].add(u)
+        self._mark_dirty_adjacency(u, v)
+        self._log.append((OP_INSERT, u, v))
         # Cover invariant: every edge needs a covered endpoint.
         if u not in self._cover and v not in self._cover:
             u_deg = len(self._out[u]) + len(self._in[u])
             v_deg = len(self._out[v]) + len(self._in[v])
             self._add_to_cover(u if u_deg >= v_deg else v)
-        # Relax cover-pair distances through the new edge:
-        # d(x, y) <= d(x, u) + 1 + d(v, y).
+        # Queue the relaxations of cover-pair distances through the new
+        # edge — d(x, y) <= d(x, u) + 1 + d(v, y) — as one chunked outer
+        # sum over the cover members of the backward/forward balls.
         side = None if self.k is None else self.k - 1
-        back = self._bounded_ball(u, side, self._in)
-        fwd = self._bounded_ball(v, side, self._out)
-        back_cover = [(x, d) for x, d in back.items() if x in self._cover]
-        fwd_cover = [(y, d) for y, d in fwd.items() if y in self._cover]
-        for x, a in back_cover:
-            for y, b in fwd_cover:
-                if self.k is None or a + 1 + b <= self.k:
-                    self._set_link(x, y, a + 1 + b)
+        bx, ba = self._cover_ball_arrays(self._ball_dists(u, side, "in"), -1)
+        fy, fb = self._cover_ball_arrays(self._ball_dists(v, side, "out"), -1)
+        if len(bx) and len(fy):
+            step = max(1, _RELAX_CHUNK // len(fy))
+            for start in range(0, len(bx), step):
+                cx, ca = bx[start : start + step], ba[start : start + step]
+                dist = (ca[:, None] + 1 + fb[None, :]).ravel()
+                xs = np.repeat(cx, len(fy))
+                ys = np.tile(fy, len(cx))
+                keep = xs != ys
+                if self.k is not None:
+                    keep &= dist <= self.k
+                self._queue_relax(xs[keep], ys[keep], dist[keep])
+        self._after_write()
 
     def delete_edge(self, u: int, v: int) -> None:
-        """Delete the directed edge ``(u, v)`` and repair the index.
+        """Delete the directed edge ``(u, v)`` and repair the overlay.
 
-        Distances through the edge may grow, so every cover vertex within
-        ``k-1`` backward hops of ``u`` (those whose rows could have relied
-        on the edge) rebuilds its row.  The cover is left unchanged —
-        covers stay valid under deletions.
+        Distances through the edge may grow, so the cover rows whose
+        distance *to v* actually changed (the exact affected set — see
+        the inline proof) are pinned for recomputation, deferred to the
+        next read.  The cover itself is left unchanged — covers stay
+        valid under deletions.
         """
         self._check(u, v)
         if v not in self._out[u]:
             return
+        # Pin the affected rows exactly: compare v's backward k-ball
+        # before and after the delete.  A cover row x whose d(x, v) is
+        # unchanged cannot lose any distance — every old route through
+        # (u, v) passes v, and splicing the surviving shortest x→v path
+        # (which avoids (u, v) by construction: it exists post-delete)
+        # in front of the old suffix gives an equally short (u, v)-free
+        # walk.  On well-connected graphs a deleted edge almost always
+        # has same-length alternates, so the repair set collapses from
+        # "the whole backward ball" to the few rows v actually drifted
+        # away from.
+        back_pre = self._ball_dists(v, self.k, "in")
         self._out[u].discard(v)
         self._in[v].discard(u)
-        side = None if self.k is None else self.k - 1
-        back = self._bounded_ball(u, side, self._in)
-        affected = [x for x in back if x in self._cover]
-        if u in self._cover and u not in back:
-            affected.append(u)
-        for x in affected:
-            self._rebuild_row(x)
+        self._mark_dirty_adjacency(u, v)
+        self._log.append((OP_DELETE, u, v))
+        back_post = self._ball_dists(v, self.k, "in")
+        # The recomputation itself is deferred to the next read, so
+        # consecutive deletions in a burst share one repair pass.  The
+        # pinned set also covers every queued insert candidate a
+        # deletion invalidates: when a candidate's witnessed distance
+        # first grows past its bound, the distance to that deletion's v
+        # grew with it, so the candidate's source row is pinned here and
+        # its fresh repair overwrites whatever the stale candidate
+        # merged in.
+        changed = (back_pre >= 0) & (back_post != back_pre) & self._flags()
+        self._pending_repair.update(np.flatnonzero(changed).tolist())
+        self._after_write()
 
     def _check(self, u: int, v: int) -> None:
         if not 0 <= u < self.n or not 0 <= v < self.n:
             raise ValueError(f"vertex out of range [0, {self.n})")
 
+    def _mark_dirty_adjacency(self, u: int, v: int) -> None:
+        """An edge (u, v) changed: u's out-list and v's in-list diverged."""
+        self._dirty_out.add(u)
+        self._dirty_in.add(v)
+        if self._dirty_out_np is not None:
+            self._dirty_out_np[u] = True
+        if self._dirty_in_np is not None:
+            self._dirty_in_np[v] = True
+
+    def _after_write(self) -> None:
+        # Only the delta-dependent views go stale; the O(n) flag arrays
+        # were already patched in place by the write itself.
+        self._delta_cache = None
+        self._matrix_cache = None
+        if self.auto_compact and len(self._delta) >= self.compaction_threshold:
+            self.compact()
+
+    def _flush_repairs(self) -> None:
+        """Settle the deferred write work (called before any row read).
+
+        Queued insert relaxations min-merge first (rows a deletion also
+        touched get overwritten by their repair right after, so a stale
+        candidate can never survive — see :meth:`delete_edge` for why
+        the repair set provably covers every broken candidate path).
+        Then the deletion repairs run: small sets per row with scalar
+        BFS, larger ones through the blocked MS-BFS kernel, 64 rows per
+        sweep.  Every read entry point (scalar query, batch query,
+        compaction, freeze, introspection that reads rows) funnels
+        through here, so deferral is invisible to callers — answers are
+        always exact.
+        """
+        self._apply_relaxations()
+        if not self._pending_repair:
+            return
+        affected = list(self._pending_repair)
+        self._pending_repair.clear()
+        if len(affected) >= _BLOCKED_REBUILD_MIN:
+            self._rebuild_rows_blocked(affected)
+        else:
+            for x in affected:
+                self._rebuild_row(x)
+        self._delta_cache = None
+        self._matrix_cache = None
+        if self.auto_compact and len(self._delta) >= self.compaction_threshold:
+            self.compact()
+
     # ------------------------------------------------------------------
-    # Queries (Algorithm 2 over the mutable state)
+    # Compaction (the maintenance loop's snapshot merge)
+    # ------------------------------------------------------------------
+    @property
+    def compaction_threshold(self) -> int:
+        """Dirty-row count at which automatic compaction fires."""
+        return max(
+            self.compaction_min_rows,
+            int(self.compaction_ratio * self._base.cover_size),
+        )
+
+    def compact(self, *, rebuild: bool = False) -> KReachIndex:
+        """Merge the overlay into a fresh base snapshot and promote it.
+
+        The default path never re-traverses the graph: clean base rows
+        are taken as array slices (dirty sources masked out of the
+        :meth:`IndexGraph.triples <repro.core.index_graph.IndexGraph.triples>`
+        stream), overlay rows are appended, and the concatenation feeds
+        the same :meth:`IndexGraph.for_kreach
+        <repro.core.index_graph.IndexGraph.for_kreach>` array path every
+        other builder uses.  ``rebuild=True`` instead re-derives all rows
+        from the current graph through the blocked bit-parallel MS-BFS
+        builder (and a fresh degree-ordered cover) — full Algorithm-1
+        cost, worth paying after heavy churn since the maintained cover
+        only ever grows.  Either way the overlay (dirty rows, dirty
+        adjacency, pending log) resets to empty and the current graph
+        becomes the new snapshot graph.  Returns the new base.
+        """
+        self._flush_repairs()  # may itself promote a merged snapshot
+        if not self._log and not self._delta:
+            return self._base  # nothing pending; keep the snapshot
+        g = self.to_digraph()
+        if rebuild:
+            base = KReachIndex(
+                g, self.k, bitset_matrix_bytes=self.bitset_matrix_bytes
+            )
+        else:
+            self._materialize_patches()
+            cover = frozenset(self._cover)
+            src, dst, w = self._base.index_graph.triples()
+            if self._delta:
+                _, dirty, d_src, d_dst, d_w = self._delta_store()
+                keep = ~dirty[src]
+                src = np.concatenate([src[keep], d_src])
+                dst = np.concatenate([dst[keep], d_dst])
+                w = np.concatenate([w[keep], d_w])
+            ig = IndexGraph.for_kreach(self.n, cover, src, dst, w, self.k)
+            base = KReachIndex.from_index_graph(
+                g,
+                self.k,
+                cover=cover,
+                index_graph=ig,
+                bitset_matrix_bytes=self.bitset_matrix_bytes,
+            )
+        self.compactions += 1
+        self._install_base(base)
+        return base
+
+    def freeze(self) -> KReachIndex:
+        """Settle the overlay and return the static base snapshot.
+
+        Compaction promoted to an API: after :meth:`freeze` the overlay
+        is empty and the returned :class:`KReachIndex` answers exactly
+        like the dynamic index (and like a fresh static build on the
+        current graph, per the maintenance invariant) — hand it to the
+        serving or serialization paths once a burst of updates settles.
+        """
+        return self.compact()
+
+    # ------------------------------------------------------------------
+    # Queries (Algorithm 2 over base + overlay)
     # ------------------------------------------------------------------
     def _link_within(self, x: int, y: int, budget: int | None) -> bool:
         if x == y:
             return budget is None or budget >= 0
-        row = self._rows[x]
-        if row is None:
-            return False
-        w = row.get(y)
+        w = self._row_get(x, y)
         if w is None:
             return False
         return budget is None or w <= budget
@@ -224,6 +802,7 @@ class DynamicKReachIndex:
     def query(self, s: int, t: int) -> bool:
         """Whether ``s →k t`` in the *current* graph."""
         self._check(s, t)
+        self._flush_repairs()
         if s == t:
             return True
         k = self.k
@@ -263,52 +842,433 @@ class DynamicKReachIndex:
         return 4
 
     # ------------------------------------------------------------------
+    # Batch queries (vectorized Algorithm 2 over base + overlay)
+    # ------------------------------------------------------------------
+    def _bool_flags(self, members) -> np.ndarray:
+        """A per-vertex bool array with ``members`` set."""
+        flags = np.zeros(self.n, dtype=bool)
+        if members:
+            flags[
+                np.fromiter(members, dtype=np.int64, count=len(members))
+            ] = True
+        return flags
+
+    def _flags(self) -> np.ndarray:
+        """Current cover membership as a bool array."""
+        if self._flags_np is None:
+            self._flags_np = self._bool_flags(self._cover)
+        return self._flags_np
+
+    def _row_pos(self) -> np.ndarray:
+        """Vertex → cover-position map: base positions, additions appended.
+
+        Base cover vertices keep their snapshot positions (so the base
+        link matrix copies in place); vertices that joined the cover
+        since occupy positions ``|S_base| ..`` in insertion order.
+        """
+        if self._row_pos_np is None:
+            # Always a copy: cover growth patches this array in place.
+            pos = self._base.index_graph.row_pos().copy()
+            first = self._base.index_graph.cover_size
+            for i, v in enumerate(self._cover_added):
+                pos[v] = first + i
+            self._row_pos_np = pos
+        return self._row_pos_np
+
+    def _row_arrays_of(self, x: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted dst, aligned w)`` arrays of delta row ``x`` (cached)."""
+        cached = self._row_arrays.get(x)
+        if cached is not None:
+            return cached
+        row = self._delta[x]
+        dst = np.fromiter(row.keys(), dtype=np.int64, count=len(row))
+        w = np.fromiter(row.values(), dtype=np.int64, count=len(row))
+        order = np.argsort(dst)
+        arrays = (dst[order], w[order])
+        self._row_arrays[x] = arrays
+        return arrays
+
+    def _delta_store(
+        self,
+    ) -> tuple[KeyedRowStore, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The overlay flattened for bulk work, rebuilt per write burst.
+
+        ``(store, dirty, src, dst, w)``: a :class:`KeyedRowStore` over
+        the dirty rows, per-vertex dirty-source flags, and the aligned
+        triple arrays (shared by the patched-matrix fill and the
+        compaction merges, so the overlay is flattened at most once per
+        burst).  Rows concatenate in ascending source order with sorted
+        targets, so the store's keys arrive pre-sorted and only rows
+        whose per-row cache dropped pay a re-flatten.
+        """
+        if self._delta_cache is None:
+            dirty = np.zeros(self.n, dtype=bool)
+            if self._delta:
+                row_ids = np.asarray(sorted(self._delta), dtype=np.int64)
+                dirty[row_ids] = True
+                pairs = [self._row_arrays_of(int(x)) for x in row_ids]
+                counts = np.fromiter(
+                    (len(p[0]) for p in pairs), dtype=np.int64, count=len(pairs)
+                )
+                src = np.repeat(row_ids, counts)
+                dst = np.concatenate([p[0] for p in pairs])
+                w = np.concatenate([p[1] for p in pairs])
+            else:
+                src = np.empty(0, dtype=np.int64)
+                dst = src.copy()
+                w = src.copy()
+            store = KeyedRowStore(src * self.n + dst, w, self.n)
+            self._delta_cache = (store, dirty, src, dst, w)
+        return self._delta_cache
+
+    def _patch_store(
+        self,
+    ) -> tuple[KeyedRowStore, np.ndarray, np.ndarray, np.ndarray]:
+        """``(store, src, dst, w)`` over the pending insert patches."""
+        if self._patch_cache is None:
+            if self._patch:
+                row_ids = sorted(self._patch)
+                counts = np.fromiter(
+                    (len(self._patch[x]) for x in row_ids),
+                    dtype=np.int64,
+                    count=len(row_ids),
+                )
+                src = np.repeat(
+                    np.asarray(row_ids, dtype=np.int64), counts
+                )
+                dst = np.fromiter(
+                    (y for x in row_ids for y in self._patch[x]),
+                    dtype=np.int64,
+                    count=int(counts.sum()),
+                )
+                w = np.fromiter(
+                    (pw for x in row_ids for pw in self._patch[x].values()),
+                    dtype=np.int64,
+                    count=int(counts.sum()),
+                )
+            else:
+                src = np.empty(0, dtype=np.int64)
+                dst = src.copy()
+                w = src.copy()
+            store = KeyedRowStore(src * self.n + dst, w, self.n)
+            self._patch_cache = (store, src, dst, w)
+        return self._patch_cache
+
+    def _lookup(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Bulk weight lookup over the tiers: base, overridden by
+        replaced (dirty) rows, min'd with the pending insert patches."""
+        weights = self._base._keyed().lookup(u, v)
+        if self._delta:
+            store, dirty = self._delta_store()[:2]
+            d = dirty[u]
+            if d.any():
+                weights[d] = store.lookup(u[d], v[d])
+        if self._patch:
+            np.minimum(
+                weights, self._patch_store()[0].lookup(u, v), out=weights
+            )
+        return weights
+
+    def _dirty_adj_flags(self, direction: str) -> np.ndarray:
+        if direction == "out":
+            if self._dirty_out_np is None:
+                self._dirty_out_np = self._bool_flags(self._dirty_out)
+            return self._dirty_out_np
+        if self._dirty_in_np is None:
+            self._dirty_in_np = self._bool_flags(self._dirty_in)
+        return self._dirty_in_np
+
+    def _gather(self, vertices: np.ndarray, direction: str) -> tuple[np.ndarray, np.ndarray]:
+        """Current-graph adjacency of ``vertices`` with owner tags.
+
+        Clean vertices gather from the base snapshot's CSR in bulk;
+        vertices whose adjacency diverged since the snapshot read their
+        mutable sets.  Owners come back sorted ascending — the
+        :func:`~repro.core.batch.gather_segments` contract the bitset
+        join's OR-fold relies on.
+        """
+        g = self._base.graph
+        if direction == "out":
+            indptr, indices, adj = g.out_indptr, g.out_indices, self._out
+            dirty_set = self._dirty_out
+        else:
+            indptr, indices, adj = g.in_indptr, g.in_indices, self._in
+            dirty_set = self._dirty_in
+        if not dirty_set:
+            nbrs, owner, _ = gather_segments(indptr, indices, vertices)
+            return nbrs, owner
+        is_dirty = self._dirty_adj_flags(direction)[vertices]
+        if not is_dirty.any():
+            nbrs, owner, _ = gather_segments(indptr, indices, vertices)
+            return nbrs, owner
+        clean = np.flatnonzero(~is_dirty)
+        nbrs_c, owner_c, _ = gather_segments(indptr, indices, vertices[clean])
+        parts = [nbrs_c]
+        owners = [clean[owner_c]]
+        for j in np.flatnonzero(is_dirty).tolist():
+            row = adj[int(vertices[j])]
+            if row:
+                parts.append(np.fromiter(row, dtype=np.int64, count=len(row)))
+                owners.append(np.full(len(row), j, dtype=np.int64))
+        nbrs = np.concatenate(parts)
+        owner = np.concatenate(owners)
+        order = np.argsort(owner, kind="stable")
+        return nbrs[order], owner[order]
+
+    def _case4_matrix(self, *, force: bool = False) -> np.ndarray | None:
+        """The patched Case-4 link matrix, or None past the memory gate.
+
+        Built as: base snapshot matrix copied into the top-left block
+        (base positions are stable across overlay growth), dirty rows
+        zeroed, overlay rows scattered back in at the query budget, and
+        the diagonal restored wherever the ``u == v`` handshake is legal.
+        Rebuilt lazily after each write burst and cached until the next
+        write.
+        """
+        cached = self._matrix_cache
+        if cached is not None:
+            if cached[0] is not None or not force:
+                return cached[0]
+        size = self._base.index_graph.cover_size + len(self._cover_added)
+        if not force and matrix_bytes(size, size) > self.bitset_matrix_bytes:
+            self._matrix_cache = (None,)
+            return None
+        budget = None if self.k is None else self.k - 2
+        diagonal = self._b2_ok
+        base_mat = self._base.index_graph.link_matrix(budget, diagonal=diagonal)
+        mat = np.zeros((size, words_for(size)), dtype=np.uint64)
+        rows_b, words_b = base_mat.shape
+        if rows_b:
+            mat[:rows_b, :words_b] = base_mat
+        row_pos = self._row_pos()
+        if self._delta:
+            dirty_pos = row_pos[
+                np.fromiter(self._delta, dtype=np.int64, count=len(self._delta))
+            ]
+            mat[dirty_pos] = 0
+            _, _, d_src, d_dst, d_w = self._delta_store()
+            pu = row_pos[d_src]
+            pv = row_pos[d_dst]
+            keep = pv >= 0
+            if budget is not None:
+                keep &= d_w <= budget
+            set_bits(mat, pu[keep], pv[keep])
+            if diagonal:
+                set_bits(mat, dirty_pos, dirty_pos)
+        if self._patch:
+            # Pending insert patches only ever lower weights, so they
+            # can only turn link bits ON — OR them over the base rows.
+            _, p_src, p_dst, p_w = self._patch_store()
+            pu = row_pos[p_src]
+            pv = row_pos[p_dst]
+            keep = pv >= 0
+            if budget is not None:
+                keep &= p_w <= budget
+            set_bits(mat, pu[keep], pv[keep])
+        if diagonal and self._cover_added:
+            added_pos = np.arange(rows_b, size, dtype=np.int64)
+            set_bits(mat, added_pos, added_pos)
+        self._matrix_cache = (mat,)
+        return mat
+
+    def prepare_batch(self) -> "DynamicKReachIndex":
+        """Build the batch engine's lookup structures now.
+
+        Mirrors :meth:`KReachIndex.prepare_batch
+        <repro.core.kreach.KReachIndex.prepare_batch>`: warms the base
+        row store and link matrix plus the overlay views, keeping their
+        one-time cost out of the steady-state query path.  Returns
+        ``self`` for chaining.
+        """
+        self._flush_repairs()
+        self._base._keyed()
+        self._flags()
+        self._delta_store()
+        self._patch_store()
+        self._case4_matrix()
+        return self
+
+    def query_batch(self, pairs, *, engine: str = "auto") -> np.ndarray:
+        """Vectorized :meth:`query` over a batch of (s, t) pairs.
+
+        Same batch API contract as the static engine: any ``(m, 2)``
+        integer array-like in, an aligned ``(m,)`` bool array out,
+        bit-identical to the scalar :meth:`query` loop.  ``engine``:
+
+        * ``'auto'`` (default) — the four-case bulk path; Case 4 runs
+          the bitset join against the patched link matrix when it fits
+          :attr:`bitset_matrix_bytes`, else falls back to the scalar
+          walk for those pairs.
+        * ``'bitset'`` — force the patched-matrix join past the gate.
+        * ``'scalar'`` — a plain per-pair :meth:`query` loop (the
+          differential reference, and the pre-overlay behavior).
+        """
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        self._flush_repairs()
+        s, t = as_pair_arrays(pairs, self.n)
+        m = len(s)
+        out = np.zeros(m, dtype=bool)
+        if m == 0:
+            return out
+        if engine == "scalar":
+            query = self.query
+            for i, (si, ti) in enumerate(zip(s.tolist(), t.tolist())):
+                out[i] = query(si, ti)
+            return out
+        np.equal(s, t, out=out)
+        k = self.k
+        if k == 0:
+            return out
+        flags = self._flags()
+        s_in = flags[s]
+        t_in = flags[t]
+        undecided = ~out  # s != t
+        b1 = UNBOUNDED_BUDGET if k is None else np.int64(k - 1)
+
+        # Case 1: one two-tier weight gather; presence alone decides
+        # (overlay and base both store only weights <= k).
+        sel = np.flatnonzero(undecided & s_in & t_in)
+        if len(sel):
+            out[sel] = self._lookup(s[sel], t[sel]) < MISSING_WEIGHT
+
+        # Case 2: some in-neighbor v of t with v == s or ω(s, v) <= k-1.
+        sel = np.flatnonzero(undecided & s_in & ~t_in)
+        if len(sel):
+            nbrs, owner = self._gather(t[sel], "in")
+            src = s[sel][owner]
+            hit = self._lookup(src, nbrs) <= b1
+            if self._b1_ok:
+                hit |= nbrs == src
+            out[sel] = segment_any(hit, owner, len(sel))
+
+        # Case 3: mirror of Case 2 over out-neighbors of s.
+        sel = np.flatnonzero(undecided & ~s_in & t_in)
+        if len(sel):
+            nbrs, owner = self._gather(s[sel], "out")
+            dst = t[sel][owner]
+            hit = self._lookup(nbrs, dst) <= b1
+            if self._b1_ok:
+                hit |= nbrs == dst
+            out[sel] = segment_any(hit, owner, len(sel))
+
+        # Case 4: bridge outNei(s) × inNei(t) through the patched matrix.
+        sel = np.flatnonzero(undecided & ~s_in & ~t_in)
+        if len(sel):
+            out[sel] = self._case4_batch(s[sel], t[sel], engine)
+        return out
+
+    def _case4_batch(
+        self, s: np.ndarray, t: np.ndarray, engine: str
+    ) -> np.ndarray:
+        matrix = self._case4_matrix(force=engine == "bitset")
+        if matrix is not None:
+            return case4_bitset_join(
+                None,
+                s,
+                t,
+                matrix,
+                self._row_pos(),
+                gather_out=lambda vs: self._gather(vs, "out"),
+                gather_in=lambda vs: self._gather(vs, "in"),
+            )
+        # Memory-gated fallback: the early-exiting per-pair walk.
+        res = np.zeros(len(s), dtype=bool)
+        query = self.query
+        for i, (si, ti) in enumerate(zip(s.tolist(), t.tolist())):
+            res[i] = query(si, ti)
+        return res
+
+    def query_case_batch(self, pairs) -> np.ndarray:
+        """Vectorized :meth:`query_case`: an ``(m,)`` uint8 array of 1–4."""
+        s, t = as_pair_arrays(pairs, self.n)
+        flags = self._flags()
+        return case_codes(flags[s], flags[t])
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def base(self) -> KReachIndex:
+        """The immutable base snapshot (as of the last compaction)."""
+        return self._base
+
+    @property
     def cover_size(self) -> int:
-        """Current cover size (monotone non-decreasing under updates)."""
+        """Current cover size (monotone non-decreasing between compactions)."""
         return len(self._cover)
 
     @property
     def edge_count(self) -> int:
-        """Current number of index edges."""
-        return sum(len(row) for row in self._rows if row is not None)
+        """Current number of index edges (clean base rows + overlay rows)."""
+        self._flush_repairs()
+        ig = self._base.index_graph
+        total = ig.edge_count + sum(len(row) for row in self._delta.values())
+        for u in self._delta:
+            lo, hi = ig.row_bounds(u)
+            total -= hi - lo
+        if self._patch:
+            flat = ig.flat()
+            n = self.n
+            for x, prow in self._patch.items():
+                for y in prow:
+                    if flat.get(x * n + y) is None:
+                        total += 1
+        return total
+
+    @property
+    def overlay_rows(self) -> int:
+        """Cover rows currently living in the delta overlay (replaced
+        rows plus rows with pending insert patches)."""
+        return len(self._delta) + len(self._patch)
+
+    @property
+    def pending_repairs(self) -> int:
+        """Rows pinned by deletions but not yet recomputed (the deferred
+        repair set; drained by the next read or compaction)."""
+        return len(self._pending_repair)
+
+    @property
+    def pending_ops(self) -> int:
+        """Updates logged since the last compaction (the v3 delta log)."""
+        return len(self._log)
+
+    def pending_log(self) -> np.ndarray:
+        """The replayable delta log as an ``(ops, 3)`` int64 array of
+        ``(op, u, v)`` rows — what :func:`~repro.core.serialize.save_dynamic`
+        persists alongside the base snapshot."""
+        if not self._log:
+            return np.empty((0, 3), dtype=np.int64)
+        return np.asarray(self._log, dtype=np.int64)
+
+    def replay(self, log: np.ndarray) -> None:
+        """Apply a delta log produced by :meth:`pending_log` in order."""
+        for op, u, v in np.asarray(log, dtype=np.int64).tolist():
+            if op == OP_INSERT:
+                self.insert_edge(u, v)
+            elif op == OP_DELETE:
+                self.delete_edge(u, v)
+            else:
+                raise ValueError(f"unknown delta-log op code {op}")
 
     def to_digraph(self) -> DiGraph:
         """Snapshot the current graph as an immutable :class:`DiGraph`."""
-        edges = [(u, v) for u in range(self.n) for v in self._out[u]]
-        return DiGraph(self.n, edges)
-
-    def freeze(self) -> KReachIndex:
-        """Emit a static :class:`KReachIndex` of the current state.
-
-        The mutable rows are flattened into ``(src, dst, w)`` arrays and
-        fed through the same array path every other builder uses
-        (:meth:`IndexGraph.from_triples
-        <repro.core.index_graph.IndexGraph.from_triples>`) — no
-        re-traversal, no dict-of-dicts intermediate.  The frozen index
-        answers exactly like the dynamic one (and hence like a fresh
-        static build on the current graph, per the maintenance
-        invariant); use it to hand a settled graph to the serving /
-        serialization paths.
-        """
-        g = self.to_digraph()
-        row_items = [
-            (u, row) for u, row in enumerate(self._rows) if row
-        ]
-        counts = [len(row) for _, row in row_items]
-        m = sum(counts)
-        src = np.repeat(
-            np.fromiter((u for u, _ in row_items), dtype=np.int64, count=len(row_items)),
-            counts,
+        counts = np.fromiter(
+            (len(row) for row in self._out), dtype=np.int64, count=self.n
         )
+        m = int(counts.sum())
+        if m == 0:
+            return DiGraph(self.n)
+        src = np.repeat(np.arange(self.n, dtype=np.int64), counts)
         dst = np.fromiter(
-            (v for _, row in row_items for v in row), dtype=np.int64, count=m
+            (v for row in self._out for v in row), dtype=np.int64, count=m
         )
-        weights = np.fromiter(
-            (w for _, row in row_items for w in row.values()), dtype=np.int64, count=m
+        return DiGraph(self.n, np.column_stack([src, dst]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        k = "inf" if self.k is None else self.k
+        return (
+            f"DynamicKReachIndex(k={k}, |V_I|={self.cover_size}, "
+            f"overlay={self.overlay_rows} rows/{self.pending_ops} ops, "
+            f"compactions={self.compactions})"
         )
-        cover = frozenset(self._cover)
-        ig = IndexGraph.for_kreach(g.n, cover, src, dst, weights, self.k)
-        return KReachIndex.from_index_graph(g, self.k, cover=cover, index_graph=ig)

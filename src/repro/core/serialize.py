@@ -1,17 +1,27 @@
 """On-disk serialization of k-reach indexes.
 
 §4.1.3: "the constructed index is then stored on disk."  This module
-implements that step: a :class:`~repro.core.kreach.KReachIndex` is written
-as a single compressed ``.npz`` holding the §4.3 physical layout — which,
-with the CSR-native :class:`~repro.core.index_graph.IndexGraph` as the
-canonical in-memory representation, is a **straight array dump**: the
-cover-id table, the index CSR (offsets + targets), the packed weight
-words, and the graph's own dual CSR so a load is self-contained.  No
-Python-level edge loop runs in either direction; loading reassembles the
-graph through :meth:`DiGraph.from_csr
-<repro.graph.digraph.DiGraph.from_csr>` (which validates the CSR
-invariants) and wraps the arrays back into an ``IndexGraph`` verbatim.
+implements that step for both tiers of the system:
 
+* **v2 — static** (:func:`save_kreach` / :func:`load_kreach`): a
+  :class:`~repro.core.kreach.KReachIndex` as a single compressed ``.npz``
+  holding the §4.3 physical layout — which, with the CSR-native
+  :class:`~repro.core.index_graph.IndexGraph` as the canonical in-memory
+  representation, is a **straight array dump**: the cover-id table, the
+  index CSR (offsets + targets), the packed weight words, and the graph's
+  own dual CSR so a load is self-contained.
+* **v3 — dynamic** (:func:`save_dynamic` / :func:`load_dynamic`): a
+  :class:`~repro.core.dynamic.DynamicKReachIndex` as the same base-snapshot
+  array dump **plus the pending delta log** — the ``(op, u, v)`` updates
+  applied since the last compaction.  Loading validates the base arrays
+  (CSR invariants via :meth:`IndexGraph.validate
+  <repro.core.index_graph.IndexGraph.validate>` and
+  :meth:`DiGraph.from_csr <repro.graph.digraph.DiGraph.from_csr>`), then
+  replays the log through the ordinary maintenance path, reproducing the
+  exact overlay state; corrupt or truncated dumps raise
+  :class:`ValueError` with a diagnosis instead of deserializing garbage.
+
+No Python-level edge loop runs in either direction on the array payload.
 Round-trip fidelity (identical query answers) is asserted in
 ``tests/core/test_serialize.py``.
 """
@@ -19,16 +29,19 @@ Round-trip fidelity (identical query answers) is asserted in
 from __future__ import annotations
 
 import os
+import zlib
 from pathlib import Path
+from zipfile import BadZipFile
 
 import numpy as np
 
 from repro.bitsets.packed import PackedIntArray
+from repro.core.dynamic import OP_DELETE, OP_INSERT, DynamicKReachIndex
 from repro.core.index_graph import IndexGraph
 from repro.core.kreach import KReachIndex
 from repro.graph.digraph import DiGraph
 
-__all__ = ["save_kreach", "load_kreach"]
+__all__ = ["save_kreach", "load_kreach", "save_dynamic", "load_dynamic"]
 
 #: Stored sentinel for the unbounded (n-reach) mode.
 _K_UNBOUNDED = -1
@@ -36,6 +49,70 @@ _K_UNBOUNDED = -1
 #: Version 2: straight IndexGraph array dump (v1 stored per-edge triples
 #: rebuilt through Python loops; no longer readable).
 _FORMAT_VERSION = 2
+
+#: Version 3: v2's base-snapshot arrays plus the pending delta log of a
+#: dynamic index.
+_DYNAMIC_FORMAT_VERSION = 3
+
+
+def _base_payload(index: KReachIndex) -> dict[str, np.ndarray]:
+    """The v2/v3-shared array dump of an index and its graph."""
+    g = index.graph
+    ig = index.index_graph
+    return {
+        "k": np.int64(_K_UNBOUNDED if index.k is None else index.k),
+        "n": np.int64(g.n),
+        "graph_out_indptr": g.out_indptr,
+        "graph_out_indices": g.out_indices,
+        "graph_in_indptr": g.in_indptr,
+        "graph_in_indices": g.in_indices,
+        "cover": ig.cover_ids,
+        "index_indptr": ig.indptr,
+        "index_targets": ig.targets,
+        "weight_words": ig.packed.words,
+        "weight_bits": np.int64(ig.packed.bits),
+        "weight_base": np.int64(ig.weight_base),
+    }
+
+
+def _load_base(data, **kreach_kwargs) -> KReachIndex:
+    """Reassemble the v2/v3-shared base snapshot, validating invariants.
+
+    The embedded graph is reconstructed directly from its CSR arrays
+    (invariants checked by :meth:`DiGraph.from_csr`), and the index
+    arrays are installed verbatim after :meth:`IndexGraph.validate` — no
+    BFS and no per-edge Python work at load time.
+    """
+    g = DiGraph.from_csr(
+        data["graph_out_indptr"],
+        data["graph_out_indices"],
+        in_indptr=data["graph_in_indptr"],
+        in_indices=data["graph_in_indices"],
+    )
+    if g.n != int(data["n"]):
+        raise ValueError("stored vertex count disagrees with the graph CSR")
+    k_raw = int(data["k"])
+    k = None if k_raw == _K_UNBOUNDED else k_raw
+    cover_ids = data["cover"].astype(np.int64)
+    targets = data["index_targets"].astype(np.int64)
+    packed = PackedIntArray.from_words(
+        data["weight_words"], len(targets), bits=int(data["weight_bits"])
+    )
+    ig = IndexGraph(
+        g.n,
+        cover_ids,
+        data["index_indptr"].astype(np.int64),
+        targets,
+        packed,
+        int(data["weight_base"]),
+    ).validate()
+    return KReachIndex.from_index_graph(
+        g,
+        k,
+        cover=frozenset(cover_ids.tolist()),
+        index_graph=ig,
+        **kreach_kwargs,
+    )
 
 
 def save_kreach(index: KReachIndex, path: str | os.PathLike) -> None:
@@ -45,69 +122,133 @@ def save_kreach(index: KReachIndex, path: str | os.PathLike) -> None:
     row views are *derived* structures and are not stored; the loader
     re-enables row compression via its ``compress_rows_at`` argument.
     """
-    g = index.graph
-    ig = index.index_graph
     np.savez_compressed(
         Path(path),
         format_version=np.int64(_FORMAT_VERSION),
-        k=np.int64(_K_UNBOUNDED if index.k is None else index.k),
-        n=np.int64(g.n),
-        graph_out_indptr=g.out_indptr,
-        graph_out_indices=g.out_indices,
-        graph_in_indptr=g.in_indptr,
-        graph_in_indices=g.in_indices,
-        cover=ig.cover_ids,
-        index_indptr=ig.indptr,
-        index_targets=ig.targets,
-        weight_words=ig.packed.words,
-        weight_bits=np.int64(ig.packed.bits),
-        weight_base=np.int64(ig.weight_base),
+        **_base_payload(index),
     )
 
 
 def load_kreach(
     path: str | os.PathLike, *, compress_rows_at: int | None = None
 ) -> KReachIndex:
-    """Load an index written by :func:`save_kreach`.
-
-    The embedded graph is reconstructed directly from its CSR arrays (no
-    re-parsing of edges, invariants validated), and the index arrays are
-    installed verbatim — no BFS and no per-edge Python work at load time.
-    """
+    """Load an index written by :func:`save_kreach`."""
     with np.load(Path(path)) as data:
         version = int(data["format_version"])
+        if version == _DYNAMIC_FORMAT_VERSION:
+            raise ValueError(
+                f"{path} is a v{version} dynamic dump; load it with load_dynamic"
+            )
         if version != _FORMAT_VERSION:
             raise ValueError(
                 f"unsupported k-reach file version {version} "
                 f"(expected {_FORMAT_VERSION})"
             )
-        g = DiGraph.from_csr(
-            data["graph_out_indptr"],
-            data["graph_out_indices"],
-            in_indptr=data["graph_in_indptr"],
-            in_indices=data["graph_in_indices"],
-        )
-        if g.n != int(data["n"]):
-            raise ValueError("stored vertex count disagrees with the graph CSR")
-        k_raw = int(data["k"])
-        k = None if k_raw == _K_UNBOUNDED else k_raw
-        cover_ids = data["cover"].astype(np.int64)
-        targets = data["index_targets"].astype(np.int64)
-        packed = PackedIntArray.from_words(
-            data["weight_words"], len(targets), bits=int(data["weight_bits"])
-        )
-        ig = IndexGraph(
-            g.n,
-            cover_ids,
-            data["index_indptr"].astype(np.int64),
-            targets,
-            packed,
-            int(data["weight_base"]),
-        ).validate()
-    return KReachIndex.from_index_graph(
-        g,
-        k,
-        cover=frozenset(cover_ids.tolist()),
-        index_graph=ig,
-        compress_rows_at=compress_rows_at,
+        return _load_base(data, compress_rows_at=compress_rows_at)
+
+
+def save_dynamic(index: DynamicKReachIndex, path: str | os.PathLike) -> None:
+    """Write a dynamic index as base snapshot + pending delta log (v3).
+
+    The overlay itself is *not* flattened to disk: the base arrays plus
+    the replayable log determine it exactly, and replaying through the
+    ordinary maintenance path on load means the on-disk format never has
+    to mirror the in-memory overlay layout.  Call
+    :meth:`~repro.core.dynamic.DynamicKReachIndex.compact` first for a
+    log-free dump of a settled index.
+    """
+    log = index.pending_log()
+    np.savez_compressed(
+        Path(path),
+        format_version=np.int64(_DYNAMIC_FORMAT_VERSION),
+        **_base_payload(index.base),
+        log=log,
+        log_count=np.int64(len(log)),
+        compaction_ratio=np.float64(index.compaction_ratio),
+        compaction_min_rows=np.int64(index.compaction_min_rows),
+        auto_compact=np.int64(index.auto_compact),
+        bitset_matrix_bytes=np.int64(index.bitset_matrix_bytes),
     )
+
+
+def load_dynamic(path: str | os.PathLike) -> DynamicKReachIndex:
+    """Load a dynamic index written by :func:`save_dynamic`.
+
+    The base snapshot's CSR invariants are re-validated before install
+    (the arrays come from outside the process and a single unsorted row
+    would silently corrupt every binary-search probe), then the pending
+    delta log is checked — shape, declared length, op codes, vertex
+    ranges — and replayed.  Any inconsistency, including a truncated or
+    otherwise unreadable file, raises :class:`ValueError` describing
+    what is wrong with the dump.
+    """
+    try:
+        data_file = np.load(Path(path))
+    except (BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise ValueError(
+            f"corrupt or truncated k-reach dynamic dump {path}: {exc}"
+        ) from exc
+    try:
+        with data_file as data:
+            try:
+                version = int(data["format_version"])
+                if version == _FORMAT_VERSION:
+                    raise ValueError(
+                        f"{path} is a v{version} static dump; load it with "
+                        "load_kreach"
+                    )
+                if version != _DYNAMIC_FORMAT_VERSION:
+                    raise ValueError(
+                        f"unsupported dynamic k-reach file version {version} "
+                        f"(expected {_DYNAMIC_FORMAT_VERSION})"
+                    )
+                base = _load_base(
+                    data,
+                    bitset_matrix_bytes=int(data["bitset_matrix_bytes"]),
+                )
+                log = np.asarray(data["log"], dtype=np.int64)
+                log_count = int(data["log_count"])
+                ratio = float(data["compaction_ratio"])
+                min_rows = int(data["compaction_min_rows"])
+                auto = bool(int(data["auto_compact"]))
+            except KeyError as exc:
+                raise ValueError(
+                    f"corrupt k-reach dynamic dump {path}: missing field {exc}"
+                ) from exc
+    except (BadZipFile, zlib.error, EOFError, OSError) as exc:
+        raise ValueError(
+            f"corrupt or truncated k-reach dynamic dump {path}: {exc}"
+        ) from exc
+    _validate_log(log, log_count, base.graph.n)
+    dyn = DynamicKReachIndex.from_base(
+        base,
+        compaction_ratio=ratio,
+        compaction_min_rows=min_rows,
+        auto_compact=auto,
+    )
+    dyn.replay(log)
+    return dyn
+
+
+def _validate_log(log: np.ndarray, declared: int, n: int) -> None:
+    """Reject malformed delta logs with a diagnosis."""
+    if log.ndim != 2 or (log.size and log.shape[1] != 3):
+        raise ValueError(
+            f"corrupt delta log: expected an (ops, 3) array, got shape {log.shape}"
+        )
+    if len(log) != declared:
+        raise ValueError(
+            f"truncated delta log: header declares {declared} ops, "
+            f"payload holds {len(log)}"
+        )
+    if not log.size:
+        return
+    ops = log[:, 0]
+    if not bool(np.isin(ops, (OP_INSERT, OP_DELETE)).all()):
+        bad = ops[~np.isin(ops, (OP_INSERT, OP_DELETE))][0]
+        raise ValueError(f"corrupt delta log: unknown op code {int(bad)}")
+    endpoints = log[:, 1:]
+    if int(endpoints.min()) < 0 or int(endpoints.max()) >= n:
+        raise ValueError(
+            f"corrupt delta log: vertex id out of range [0, {n})"
+        )

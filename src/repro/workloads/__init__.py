@@ -3,8 +3,15 @@
 from repro.workloads.queries import (
     case_distribution,
     celebrity_pairs,
+    churn_trace,
     positive_pairs,
     random_pairs,
 )
 
-__all__ = ["random_pairs", "celebrity_pairs", "positive_pairs", "case_distribution"]
+__all__ = [
+    "random_pairs",
+    "celebrity_pairs",
+    "positive_pairs",
+    "churn_trace",
+    "case_distribution",
+]

@@ -9,7 +9,10 @@ examples and ablations:
 * :func:`celebrity_pairs` — pairs whose source or target is a high-degree
   vertex (the §4.3 "Lady Gaga" scenario);
 * :func:`positive_pairs` — pairs guaranteed reachable within a hop budget
-  (for workloads needing a controlled positive rate).
+  (for workloads needing a controlled positive rate);
+* :func:`churn_trace` — an interleaved insert/delete/query-batch
+  operation stream for the dynamic (snapshot + overlay) engine's
+  benchmark and tests.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ __all__ = [
     "random_pairs",
     "celebrity_pairs",
     "positive_pairs",
+    "churn_trace",
     "case_distribution",
 ]
 
@@ -112,6 +116,93 @@ def positive_pairs(
         t = ball[int(rng.integers(0, len(ball)))]
         out.append((s, t))
     return np.asarray(out, dtype=np.int64)
+
+
+def churn_trace(
+    g: DiGraph,
+    events: int,
+    *,
+    read_fraction: float = 0.5,
+    insert_fraction: float = 0.5,
+    batch_size: int = 256,
+    write_burst: int = 1,
+    rng: np.random.Generator | None = None,
+) -> list[tuple]:
+    """A seeded interleaved insert/delete/query operation stream.
+
+    The mixed read/write workload the dynamic engine serves: each event
+    is, with probability ``read_fraction``, a ``('query', pairs)`` batch
+    of ``batch_size`` uniform (s, t) pairs, and otherwise a burst of
+    ``write_burst`` consecutive writes — each an ``('insert', u, v)`` of
+    an edge absent from the current graph (with probability
+    ``insert_fraction``) or a ``('delete', u, v)`` of a currently live
+    edge.  Bursts model batched ingestion, the shape write-absorbing
+    engines (and the overlay's deferred deletion repair) are built for;
+    ``write_burst=1`` degrades to a fully interleaved stream.  Writes
+    track graph state starting from ``g``'s edges, so deletes always
+    name live edges and inserts always add; a delete with nothing live
+    degrades to an insert (and vice versa on a saturated or too-small
+    graph, where an impossible write is dropped).
+
+    Deterministic given ``rng``; consumers replay the returned list
+    against whatever engine they measure.
+    """
+    if g.n < 1:
+        raise ValueError("graph has no vertices")
+    if events < 0:
+        raise ValueError(f"events must be non-negative, got {events}")
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read_fraction must be in [0, 1], got {read_fraction}")
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ValueError(
+            f"insert_fraction must be in [0, 1], got {insert_fraction}"
+        )
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if write_burst < 1:
+        raise ValueError(f"write_burst must be >= 1, got {write_burst}")
+    rng = rng or np.random.default_rng(0)
+    live_list: list[tuple[int, int]] = [(int(u), int(v)) for u, v in g.edges()]
+    live = set(live_list)
+    # Fixed event mix, shuffled: exactly round(events * read_fraction)
+    # reads regardless of seed, so two traces with the same parameters
+    # have comparable volume and only differ in ordering and edge choice.
+    reads = np.zeros(events, dtype=bool)
+    reads[: round(events * read_fraction)] = True
+    rng.shuffle(reads)
+    ops: list[tuple] = []
+    for is_read in reads.tolist():
+        if is_read:
+            ops.append(("query", random_pairs(g.n, batch_size, rng=rng)))
+            continue
+        for _write in range(write_burst):
+            do_insert = rng.random() < insert_fraction
+            if not do_insert and not live_list:
+                do_insert = True
+            if do_insert:
+                edge = None
+                for _attempt in range(64):
+                    u = int(rng.integers(0, g.n))
+                    v = int(rng.integers(0, g.n))
+                    if u != v and (u, v) not in live:
+                        edge = (u, v)
+                        break
+                if edge is None:  # saturated (or single-vertex) graph
+                    if not live_list:
+                        continue
+                    do_insert = False
+                else:
+                    live.add(edge)
+                    live_list.append(edge)
+                    ops.append(("insert", *edge))
+            if not do_insert:
+                i = int(rng.integers(0, len(live_list)))
+                edge = live_list[i]
+                live_list[i] = live_list[-1]
+                live_list.pop()
+                live.discard(edge)
+                ops.append(("delete", *edge))
+    return ops
 
 
 def case_distribution(index, pairs: np.ndarray) -> dict[int, float]:

@@ -123,3 +123,21 @@ class TestBuildExperiment:
         assert len(table.rows) == 4
         assert all(row["agree"] == "yes" for row in table.rows)
         assert "build" in table.title.lower() or "Build" in table.title
+
+
+def test_run_dynamic_smoke():
+    from repro.bench.experiments import run_dynamic
+
+    config = SuiteConfig(
+        datasets=("GO",), scale=0.03, queries=320, bfs_queries=40, seed=2
+    )
+    table = run_dynamic(config)
+    # GO at k = 2 and 6, plus the TOTAL row CI gates on.
+    assert [row["dataset"] for row in table.rows] == ["GO", "GO", "TOTAL"]
+    for row in table.rows:
+        assert row["agree"] == "yes"
+    total = table.rows[-1]
+    # TOTAL holds raw millisecond sums the CI gate consumes.
+    assert total["overlay µs/q"] > 0
+    assert total["scalar µs/q"] > 0
+    assert total["rebuild ms"] > 0

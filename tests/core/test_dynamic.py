@@ -232,3 +232,204 @@ class TestFreeze:
         save_kreach(frozen, path)
         loaded = load_kreach(path)
         assert loaded.weighted_edges() == frozen.weighted_edges()
+
+
+def oracle_batch(dyn: DynamicKReachIndex, pairs: np.ndarray) -> np.ndarray:
+    """BFS ground truth for every pair on the current graph."""
+    g = dyn.to_digraph()
+    return np.fromiter(
+        (brute_force_khop(g, int(s), int(t), dyn.k) for s, t in pairs),
+        dtype=bool,
+        count=len(pairs),
+    )
+
+
+def drive(dyn, edges, rng, n, steps, on_checkpoint, every=6):
+    """Apply a random interleaved insert/delete trace, calling
+    ``on_checkpoint`` periodically."""
+    for step in range(steps):
+        if edges and rng.random() < 0.45:
+            u, v = edges.pop(int(rng.integers(0, len(edges))))
+            dyn.delete_edge(u, v)
+        else:
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u != v and (u, v) not in edges:
+                dyn.insert_edge(u, v)
+                edges.append((u, v))
+        if step % every == every - 1:
+            on_checkpoint(step)
+
+
+class TestBatchOverlay:
+    """ISSUE-4 acceptance: under randomized interleaved insert/delete
+    traces (with compactions mid-trace), ``DynamicKReachIndex.query_batch``
+    ≡ ``freeze().query_batch`` ≡ the BFS oracle for k in {2, 6, None}."""
+
+    @pytest.mark.parametrize("k", [2, 6, None])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_interleaved_batch_matches_freeze_and_oracle(self, k, seed):
+        rng = np.random.default_rng(seed)
+        n = 16
+        g = gnp_digraph(n, 0.12, seed=seed)
+        dyn = DynamicKReachIndex(g, k, auto_compact=False)
+        edges = list(g.edges())
+        pairs = np.array(
+            [(s, t) for s in range(n) for t in range(n)], dtype=np.int64
+        )
+
+        def check(step):
+            expected = oracle_batch(dyn, pairs)
+            got = dyn.query_batch(pairs)
+            assert np.array_equal(got, expected), (k, seed, step)
+            for engine in ("scalar", "bitset"):
+                assert np.array_equal(
+                    dyn.query_batch(pairs, engine=engine), expected
+                ), (k, seed, step, engine)
+            if step == 17:
+                dyn.compact()  # forced compaction mid-trace
+                assert dyn.overlay_rows == 0 and dyn.pending_ops == 0
+                assert np.array_equal(dyn.query_batch(pairs), expected)
+            frozen = dyn.freeze()  # compaction promoted to the API
+            assert np.array_equal(frozen.query_batch(pairs), expected)
+            fresh = KReachIndex(dyn.to_digraph(), k)
+            assert np.array_equal(fresh.query_batch(pairs), expected)
+
+        drive(dyn, edges, rng, n, 30, check)
+
+    @pytest.mark.parametrize("k", [2, None])
+    def test_auto_compaction_stays_correct(self, k):
+        rng = np.random.default_rng(5)
+        n = 20
+        g = gnp_digraph(n, 0.1, seed=5)
+        dyn = DynamicKReachIndex(
+            g, k, compaction_ratio=0.05, compaction_min_rows=1
+        )
+        edges = list(g.edges())
+        pairs = np.array(
+            [(s, t) for s in range(n) for t in range(n)], dtype=np.int64
+        )
+        drive(
+            dyn, edges, rng, n, 30,
+            lambda step: np.array_equal(
+                dyn.query_batch(pairs), oracle_batch(dyn, pairs)
+            ) or pytest.fail(f"mismatch at {step}"),
+        )
+        assert dyn.compactions > 0
+
+    def test_batch_contract(self):
+        dyn = DynamicKReachIndex(path_graph(5), 2)
+        out = dyn.query_batch(np.empty((0, 2), dtype=np.int64))
+        assert out.shape == (0,) and out.dtype == bool
+        with pytest.raises(ValueError):
+            dyn.query_batch([(0, 9)])
+        with pytest.raises(ValueError):
+            dyn.query_batch([(0, 1)], engine="chunked")
+
+    def test_memory_gate_falls_back_and_bitset_forces(self):
+        g = gnp_digraph(30, 0.1, seed=2)
+        dyn = DynamicKReachIndex(g, 3, bitset_matrix_bytes=0)
+        dyn.insert_edge(0, 29)
+        pairs = np.array(
+            [(s, t) for s in range(30) for t in range(30)], dtype=np.int64
+        )
+        assert dyn._case4_matrix() is None  # gated off
+        expected = oracle_batch(dyn, pairs)
+        assert np.array_equal(dyn.query_batch(pairs), expected)
+        assert np.array_equal(dyn.query_batch(pairs, engine="bitset"), expected)
+
+    def test_query_case_batch_matches_scalar(self):
+        g = gnp_digraph(25, 0.1, seed=4)
+        dyn = DynamicKReachIndex(g, 3)
+        dyn.insert_edge(1, 2)
+        dyn.delete_edge(1, 2)
+        pairs = np.array(
+            [(s, t) for s in range(25) for t in range(25)], dtype=np.int64
+        )
+        cases = dyn.query_case_batch(pairs)
+        assert cases.dtype == np.uint8
+        for (s, t), case in zip(pairs.tolist(), cases.tolist()):
+            assert case == dyn.query_case(s, t)
+
+    def test_prepare_batch_chains_and_settles(self):
+        g = gnp_digraph(15, 0.15, seed=6)
+        dyn = DynamicKReachIndex(g, 3, auto_compact=False)
+        for u, v in list(g.edges())[:4]:
+            dyn.delete_edge(u, v)
+        assert dyn.prepare_batch() is dyn
+        assert dyn.pending_repairs == 0  # settling drained the repairs
+
+
+class TestOverlayLifecycle:
+    def test_base_snapshot_is_immutable_between_compactions(self):
+        g = gnp_digraph(18, 0.12, seed=7)
+        dyn = DynamicKReachIndex(g, 3, auto_compact=False)
+        base = dyn.base
+        edge_count = base.index_graph.edge_count
+        rng = np.random.default_rng(7)
+        edges = list(g.edges())
+        drive(dyn, edges, rng, 18, 12, lambda step: dyn.query_batch([(0, 1)]))
+        assert dyn.base is base  # no compaction ran
+        assert base.index_graph.edge_count == edge_count
+
+    def test_overlay_grows_then_compaction_clears(self):
+        g = path_graph(10)
+        dyn = DynamicKReachIndex(g, 3, auto_compact=False)
+        dyn.insert_edge(9, 0)
+        dyn.delete_edge(0, 1)
+        dyn.query(0, 5)  # settle deferred work into the overlay
+        assert dyn.pending_ops == 2
+        assert dyn.overlay_rows > 0
+        base = dyn.compact()
+        assert dyn.base is base
+        assert dyn.overlay_rows == 0 and dyn.pending_ops == 0
+        assert dyn.compactions == 1
+        # compact with nothing pending is a no-op on the snapshot
+        assert dyn.compact() is base
+
+    def test_compact_rebuild_refreshes_cover(self):
+        g = gnp_digraph(16, 0.1, seed=8)
+        dyn = DynamicKReachIndex(g, 3, auto_compact=False)
+        rng = np.random.default_rng(8)
+        edges = list(g.edges())
+        drive(dyn, edges, rng, 16, 16, lambda step: None)
+        pairs = np.array(
+            [(s, t) for s in range(16) for t in range(16)], dtype=np.int64
+        )
+        expected = oracle_batch(dyn, pairs)
+        dyn.compact(rebuild=True)
+        assert np.array_equal(dyn.query_batch(pairs), expected)
+
+    def test_from_base_wraps_frozen_index(self):
+        g = gnp_digraph(14, 0.15, seed=9)
+        dyn = DynamicKReachIndex(g, 3)
+        dyn.insert_edge(0, 13)
+        frozen = dyn.freeze()
+        again = DynamicKReachIndex.from_base(frozen)
+        again.insert_edge(13, 0)
+        dyn.insert_edge(13, 0)
+        pairs = np.array(
+            [(s, t) for s in range(14) for t in range(14)], dtype=np.int64
+        )
+        assert np.array_equal(again.query_batch(pairs), dyn.query_batch(pairs))
+
+    def test_ctor_validation(self):
+        with pytest.raises(ValueError):
+            DynamicKReachIndex(path_graph(3), 2, compaction_ratio=0.0)
+        with pytest.raises(ValueError):
+            DynamicKReachIndex(path_graph(3), 2, compaction_min_rows=0)
+
+    def test_pending_log_replay_reproduces_state(self):
+        g = gnp_digraph(15, 0.12, seed=10)
+        dyn = DynamicKReachIndex(g, 3, auto_compact=False)
+        rng = np.random.default_rng(10)
+        edges = list(g.edges())
+        drive(dyn, edges, rng, 15, 14, lambda step: None)
+        log = dyn.pending_log()
+        assert log.shape == (dyn.pending_ops, 3)
+        other = DynamicKReachIndex.from_base(dyn.base, auto_compact=False)
+        other.replay(log)
+        pairs = np.array(
+            [(s, t) for s in range(15) for t in range(15)], dtype=np.int64
+        )
+        assert np.array_equal(other.query_batch(pairs), dyn.query_batch(pairs))
+        assert other.edge_count == dyn.edge_count

@@ -95,3 +95,166 @@ class TestLoadValidation:
         np.savez_compressed(path, **data)
         with pytest.raises(ValueError):
             load_kreach(path)
+
+
+# ----------------------------------------------------------------------
+# v3 dynamic dumps: base snapshot + replayable delta log
+# ----------------------------------------------------------------------
+from repro.core.dynamic import DynamicKReachIndex  # noqa: E402
+from repro.core.serialize import load_dynamic, save_dynamic  # noqa: E402
+
+
+def churned_dynamic(k=3, *, n=20, seed=3, steps=25, auto_compact=False):
+    """A dynamic index with a non-trivial overlay and pending log."""
+    g = gnp_digraph(n, 0.12, seed=seed)
+    dyn = DynamicKReachIndex(g, k, auto_compact=auto_compact)
+    rng = np.random.default_rng(seed)
+    edges = list(g.edges())
+    for _ in range(steps):
+        if edges and rng.random() < 0.4:
+            u, v = edges.pop(int(rng.integers(0, len(edges))))
+            dyn.delete_edge(u, v)
+        else:
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u != v and (u, v) not in edges:
+                dyn.insert_edge(u, v)
+                edges.append((u, v))
+    return dyn
+
+
+def tampered_copy(path, out_path, **overrides):
+    """Rewrite a dump with some fields replaced."""
+    with np.load(path) as data:
+        payload = {key: data[key] for key in data.files}
+    payload.update(overrides)
+    np.savez_compressed(out_path, **payload)
+    return out_path
+
+
+class TestDynamicRoundTrip:
+    @pytest.mark.parametrize("k", [2, 3, None])
+    def test_mid_churn_roundtrip(self, tmp_path, k):
+        dyn = churned_dynamic(k)
+        assert dyn.pending_ops > 0  # the dump must carry a real log
+        path = tmp_path / "dyn.npz"
+        save_dynamic(dyn, path)
+        loaded = load_dynamic(path)
+        n = dyn.n
+        pairs = np.array(
+            [(s, t) for s in range(n) for t in range(n)], dtype=np.int64
+        )
+        assert np.array_equal(loaded.query_batch(pairs), dyn.query_batch(pairs))
+        assert loaded.pending_ops == dyn.pending_ops
+        assert loaded.cover_size == dyn.cover_size
+        assert loaded.edge_count == dyn.edge_count
+        assert loaded.compaction_ratio == dyn.compaction_ratio
+        assert loaded.auto_compact == dyn.auto_compact
+        # the loaded index keeps serving updates
+        loaded.insert_edge(0, n - 1)
+        dyn.insert_edge(0, n - 1)
+        assert np.array_equal(loaded.query_batch(pairs), dyn.query_batch(pairs))
+
+    def test_settled_roundtrip_has_empty_log(self, tmp_path):
+        dyn = churned_dynamic(3)
+        dyn.compact()
+        path = tmp_path / "settled.npz"
+        save_dynamic(dyn, path)
+        with np.load(path) as data:
+            assert int(data["log_count"]) == 0
+        loaded = load_dynamic(path)
+        assert loaded.pending_ops == 0
+        pairs = np.array(
+            [(s, t) for s in range(dyn.n) for t in range(dyn.n)], dtype=np.int64
+        )
+        assert np.array_equal(loaded.query_batch(pairs), dyn.query_batch(pairs))
+
+    def test_version_cross_errors(self, tmp_path):
+        dyn = churned_dynamic(3)
+        dpath = tmp_path / "dyn.npz"
+        save_dynamic(dyn, dpath)
+        spath = tmp_path / "static.npz"
+        save_kreach(dyn.freeze(), spath)
+        with pytest.raises(ValueError, match="load_kreach"):
+            load_dynamic(spath)
+        with pytest.raises(ValueError, match="load_dynamic"):
+            load_kreach(dpath)
+
+
+class TestDynamicCorruption:
+    def test_truncated_file(self, tmp_path):
+        dyn = churned_dynamic(3)
+        path = tmp_path / "dyn.npz"
+        save_dynamic(dyn, path)
+        raw = path.read_bytes()
+        trunc = tmp_path / "trunc.npz"
+        trunc.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_dynamic(trunc)
+
+    def test_log_count_mismatch(self, tmp_path):
+        dyn = churned_dynamic(3)
+        path = tmp_path / "dyn.npz"
+        save_dynamic(dyn, path)
+        with np.load(path) as data:
+            log = data["log"]
+        bad = tampered_copy(path, tmp_path / "bad.npz", log=log[:-1])
+        with pytest.raises(ValueError, match="truncated delta log"):
+            load_dynamic(bad)
+
+    def test_unknown_op_code(self, tmp_path):
+        dyn = churned_dynamic(3)
+        path = tmp_path / "dyn.npz"
+        save_dynamic(dyn, path)
+        with np.load(path) as data:
+            log = data["log"].copy()
+        log[0, 0] = 7
+        bad = tampered_copy(path, tmp_path / "badop.npz", log=log)
+        with pytest.raises(ValueError, match="unknown op code"):
+            load_dynamic(bad)
+
+    def test_log_vertex_out_of_range(self, tmp_path):
+        dyn = churned_dynamic(3)
+        path = tmp_path / "dyn.npz"
+        save_dynamic(dyn, path)
+        with np.load(path) as data:
+            log = data["log"].copy()
+        log[0, 1] = dyn.n + 5
+        bad = tampered_copy(path, tmp_path / "badv.npz", log=log)
+        with pytest.raises(ValueError, match="out of range"):
+            load_dynamic(bad)
+
+    def test_corrupt_base_csr_rejected(self, tmp_path):
+        dyn = churned_dynamic(3)
+        path = tmp_path / "dyn.npz"
+        save_dynamic(dyn, path)
+        with np.load(path) as data:
+            indptr = data["index_indptr"].copy()
+        if len(indptr) > 1:
+            indptr[1] = -4  # breaks monotonicity / bounds
+        bad = tampered_copy(path, tmp_path / "badcsr.npz", index_indptr=indptr)
+        with pytest.raises(ValueError):
+            load_dynamic(bad)
+
+    def test_missing_field(self, tmp_path):
+        dyn = churned_dynamic(3)
+        path = tmp_path / "dyn.npz"
+        save_dynamic(dyn, path)
+        with np.load(path) as data:
+            payload = {key: data[key] for key in data.files}
+        payload.pop("log")
+        bad = tmp_path / "missing.npz"
+        np.savez_compressed(bad, **payload)
+        with pytest.raises(ValueError, match="missing field"):
+            load_dynamic(bad)
+
+    def test_bitset_matrix_bytes_roundtrips(self, tmp_path):
+        g = gnp_digraph(20, 0.15, seed=4)
+        dyn = DynamicKReachIndex(g, 3, bitset_matrix_bytes=0)
+        dyn.insert_edge(0, 19)
+        assert dyn._case4_matrix() is None  # ceiling gates the matrix off
+        path = tmp_path / "gated.npz"
+        save_dynamic(dyn, path)
+        loaded = load_dynamic(path)
+        assert loaded.bitset_matrix_bytes == 0
+        assert loaded.base.bitset_matrix_bytes == 0
+        assert loaded._case4_matrix() is None  # still gated after reload

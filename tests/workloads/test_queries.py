@@ -114,3 +114,100 @@ class TestCaseDistribution:
         pairs = random_pairs(6, 100, rng=np.random.default_rng(5))
         dist = case_distribution(idx, pairs)
         assert dist[1] == 1.0
+
+
+class TestChurnTrace:
+    def _graph(self):
+        return gnp_digraph(30, 0.08, seed=5)
+
+    def test_deterministic_with_rng(self):
+        from repro.workloads import churn_trace
+
+        g = self._graph()
+        a = churn_trace(g, 40, rng=np.random.default_rng(4))
+        b = churn_trace(g, 40, rng=np.random.default_rng(4))
+        assert len(a) == len(b)
+        for op_a, op_b in zip(a, b):
+            assert op_a[0] == op_b[0]
+            if op_a[0] == "query":
+                assert np.array_equal(op_a[1], op_b[1])
+            else:
+                assert op_a[1:] == op_b[1:]
+
+    def test_fixed_read_mix_and_batch_shape(self):
+        from repro.workloads import churn_trace
+
+        g = self._graph()
+        trace = churn_trace(
+            g, 40, read_fraction=0.75, batch_size=17,
+            rng=np.random.default_rng(1),
+        )
+        queries = [op for op in trace if op[0] == "query"]
+        assert len(queries) == 30  # exactly round(40 * 0.75), any seed
+        for _, pairs in queries:
+            assert pairs.shape == (17, 2)
+            assert pairs.min() >= 0 and pairs.max() < g.n
+
+    def test_writes_track_live_edges(self):
+        from repro.workloads import churn_trace
+
+        g = self._graph()
+        trace = churn_trace(
+            g, 60, read_fraction=0.3, rng=np.random.default_rng(2)
+        )
+        live = {(int(u), int(v)) for u, v in g.edges()}
+        for op in trace:
+            if op[0] == "insert":
+                assert op[1] != op[2]
+                assert (op[1], op[2]) not in live
+                live.add((op[1], op[2]))
+            elif op[0] == "delete":
+                assert (op[1], op[2]) in live
+                live.discard((op[1], op[2]))
+
+    def test_write_burst_multiplies_writes(self):
+        from repro.workloads import churn_trace
+
+        g = self._graph()
+        trace = churn_trace(
+            g, 24, read_fraction=0.5, write_burst=4,
+            rng=np.random.default_rng(3),
+        )
+        writes = sum(1 for op in trace if op[0] != "query")
+        assert writes == 12 * 4  # every write event expands into a burst
+
+    def test_validation(self):
+        from repro.workloads import churn_trace
+
+        g = self._graph()
+        with pytest.raises(ValueError):
+            churn_trace(g, -1)
+        with pytest.raises(ValueError):
+            churn_trace(g, 5, read_fraction=1.5)
+        with pytest.raises(ValueError):
+            churn_trace(g, 5, insert_fraction=-0.1)
+        with pytest.raises(ValueError):
+            churn_trace(g, 5, batch_size=0)
+        with pytest.raises(ValueError):
+            churn_trace(g, 5, write_burst=0)
+
+    def test_trace_drives_dynamic_index(self):
+        from repro.core import DynamicKReachIndex
+        from repro.workloads import churn_trace
+
+        g = self._graph()
+        trace = churn_trace(
+            g, 30, read_fraction=0.5, batch_size=32,
+            rng=np.random.default_rng(6),
+        )
+        dyn = DynamicKReachIndex(g, 3)
+        for op in trace:
+            if op[0] == "query":
+                answers = dyn.query_batch(op[1])
+                assert np.array_equal(
+                    answers, dyn.query_batch(op[1], engine="scalar")
+                )
+            elif op[0] == "insert":
+                dyn.insert_edge(op[1], op[2])
+            else:
+                dyn.delete_edge(op[1], op[2])
