@@ -38,17 +38,25 @@ class PackedIntArray:
 
     _WORD_BITS = 64
 
-    def __init__(self, length: int, *, bits: int) -> None:
+    @classmethod
+    def _words_needed(cls, length: int, bits: int) -> int:
+        """Backing words for ``length`` entries, validating the parameters.
+
+        Includes the spare word that lets a straddling entry read two
+        words unconditionally — the one formula both the allocating
+        constructor and the zero-copy install path must agree on.
+        """
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
         if not 1 <= bits <= 32:
             raise ValueError(f"bits must be in [1, 32], got {bits}")
+        return (length * bits + cls._WORD_BITS - 1) // cls._WORD_BITS + 1
+
+    def __init__(self, length: int, *, bits: int) -> None:
+        nwords = self._words_needed(length, bits)
         self.length = length
         self.bits = bits
-        total_bits = length * bits
-        nwords = (total_bits + self._WORD_BITS - 1) // self._WORD_BITS
-        # One spare word lets a straddling entry read two words unconditionally.
-        self._words = np.zeros(nwords + 1, dtype=np.uint64)
+        self._words = np.zeros(nwords, dtype=np.uint64)
         self._mask = (1 << bits) - 1
 
     @classmethod
@@ -85,11 +93,35 @@ class PackedIntArray:
 
     @classmethod
     def from_words(
-        cls, words: np.ndarray, length: int, *, bits: int
+        cls, words: np.ndarray, length: int, *, bits: int, copy: bool = True
     ) -> "PackedIntArray":
-        """Rebuild from a raw word array (the on-disk form; see :attr:`words`)."""
-        arr = cls(length, bits=bits)
+        """Rebuild from a raw word array (the on-disk form; see :attr:`words`).
+
+        With ``copy=False`` the word array is installed **as the backing
+        store** — no allocation and no pass over the payload, which is what
+        lets the memory-mapped loader open a packed weight array in O(1).
+        The zero-copy path requires the array to carry the exact padded
+        word count (``nwords + 1``, the spare straddle word included), and
+        the result must be treated as frozen: writes through
+        ``__setitem__`` would write through to the caller's buffer (and
+        fault on a read-only mmap).
+        """
         words = np.asarray(words, dtype=np.uint64)
+        if not copy:
+            arr = object.__new__(cls)
+            needed = cls._words_needed(length, bits)
+            if len(words) != needed:
+                raise ValueError(
+                    f"zero-copy install needs exactly {needed} words "
+                    f"(spare included) for {length} {bits}-bit entries, "
+                    f"got {len(words)}"
+                )
+            arr.length = length
+            arr.bits = bits
+            arr._words = words
+            arr._mask = (1 << bits) - 1
+            return arr
+        arr = cls(length, bits=bits)
         if len(words) > len(arr._words):
             raise ValueError(
                 f"{len(words)} words exceed the {len(arr._words)} needed "

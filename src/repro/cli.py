@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli table3-4-5 --scale 1.0 --queries 100000 --workers 4
     python -m repro.cli throughput --scale 0.2 --queries 100000
     python -m repro.cli dynamic --scale 0.2 --json BENCH_dynamic.json
+    python -m repro.cli serve --scale 0.2 --json BENCH_serve.json
     python -m repro.cli build --scale 0.2 --json build.json
     python -m repro.cli all --scale 0.2 --output results.txt
     kreach-bench table8            # installed console script
@@ -20,12 +21,21 @@ scalar dynamic path, and a rebuild-per-batch baseline (CI gates
 overlay >= scalar on the TOTAL row), and ``build`` compares the blocked
 MS-BFS construction path against the per-source serial build.
 
+``serve`` measures the memory-mapped serving tier: v4
+:func:`~repro.core.serialize.load_mmap` open time against the v2 eager
+load, and batch throughput through 1/2/4/8-worker
+:class:`~repro.core.serve.QueryServer` pools sharing one index file
+(CI gates v4 < v2 open and 2-worker ≥ 1-worker throughput).
+
 Every experiment accepts ``--scale`` (1.0 = paper-sized graphs),
 ``--queries``, ``--datasets`` (comma-separated subset), ``--seed``, and
 ``--workers`` (process pool for construction).  ``--json PATH``
 additionally writes the results as machine-readable JSON so perf
 trajectories (the CI-uploaded ``BENCH_throughput.json`` /
-``BENCH_build.json`` artifacts) can be tracked across PRs.
+``BENCH_build.json`` / ``BENCH_serve.json`` artifacts) can be tracked
+across PRs; the payload embeds run provenance — git sha, numpy version,
+platform, timestamp, CPU count, and the full experiment parameters — so
+artifacts from different PRs are comparable.
 """
 
 from __future__ import annotations
@@ -89,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--serve-workers",
+        type=str,
+        default="1,2,4,8",
+        metavar="N,N,...",
+        help=(
+            "comma-separated QueryServer pool sizes the 'serve' experiment "
+            "measures (default 1,2,4,8)"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         choices=["auto", "bitset", "chunked", "scalar"],
         default="auto",
@@ -120,6 +140,57 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_metadata() -> dict:
+    """Provenance embedded in every ``--json`` payload.
+
+    ``BENCH_*.json`` artifacts are compared across PRs; without the git
+    sha / library versions / host facts a regression cannot be told
+    apart from a runner change.  Everything here degrades to ``None``
+    rather than failing the bench run.
+    """
+    import datetime
+    import os
+    import platform
+    import subprocess
+
+    import numpy as np
+
+    try:
+        # The sha is trustworthy only when this file is *tracked* by the
+        # repository that contains it (the dev-checkout layout).  A bare
+        # ancestor/cwd check is not enough: a venv installed inside some
+        # unrelated checkout puts site-packages under that repo too, and
+        # stamping its HEAD would misattribute every artifact.
+        pkg_dir = os.path.dirname(os.path.abspath(__file__))
+        tracked = subprocess.run(
+            ["git", "ls-files", "--error-unmatch", "cli.py"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=pkg_dir,
+        )
+        sha = None
+        if tracked.returncode == 0:
+            proc = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                cwd=pkg_dir,
+            )
+            sha = (proc.stdout.strip() or None) if proc.returncode == 0 else None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "git_sha": sha,
+        "numpy_version": np.__version__,
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    }
+
+
 def _emit(text: str, output: str | None) -> None:
     print(text)
     if output:
@@ -139,6 +210,15 @@ def main(argv: list[str] | None = None) -> int:
     datasets = DATASET_NAMES
     if args.datasets:
         datasets = tuple(name.strip() for name in args.datasets.split(",") if name.strip())
+    try:
+        serve_workers = tuple(
+            int(part) for part in args.serve_workers.split(",") if part.strip()
+        ) or (1, 2, 4, 8)
+    except ValueError:
+        raise SystemExit(
+            f"--serve-workers must be comma-separated ints, got "
+            f"{args.serve_workers!r}"
+        )
     config = SuiteConfig(
         datasets=datasets,
         scale=args.scale,
@@ -147,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         workers=args.workers,
         engine=args.engine,
+        serve_workers=serve_workers,
     )
     names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     records: list[dict] = []
@@ -167,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
             )
     if args.json:
         payload = {
+            "meta": _run_metadata(),
             "config": {
                 "datasets": list(datasets),
                 "scale": args.scale,
@@ -175,6 +257,7 @@ def main(argv: list[str] | None = None) -> int:
                 "seed": args.seed,
                 "workers": args.workers,
                 "engine": args.engine,
+                "serve_workers": list(serve_workers),
             },
             "experiments": records,
         }

@@ -20,9 +20,12 @@ from repro.core.rowstore import CompressedRow, compress_rows
 from repro.core.serialize import (
     load_dynamic,
     load_kreach,
+    load_mmap,
     save_dynamic,
     save_kreach,
+    save_mmap,
 )
+from repro.core.serve import QueryServer
 from repro.core.vertex_cover import (
     COVER_STRATEGIES,
     cover_from_strategy,
@@ -48,6 +51,9 @@ __all__ = [
     "load_kreach",
     "save_dynamic",
     "load_dynamic",
+    "save_mmap",
+    "load_mmap",
+    "QueryServer",
     "CoverDistanceOracle",
     "GeometricKReachFamily",
     "ExactKFamily",

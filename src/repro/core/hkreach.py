@@ -60,6 +60,7 @@ from repro.core.batch import (
     KeyedRowStore,
     as_pair_arrays,
     case_codes,
+    coalesce_pairs,
     gather_segments,
     segment_any,
 )
@@ -491,15 +492,34 @@ class HKReachIndex:
         * ``'scalar'`` — the per-pair Algorithm-3 walk with the shared
           FIFO level-expansion memo (the differential reference, and the
           ``'auto'`` fallback for covers too large for the matrices).
+
+        The non-scalar engines deduplicate repeated (s, t) pairs and
+        group the distinct pairs by case code before the kernels run
+        (:func:`~repro.core.batch.coalesce_pairs`), scattering verdicts
+        back to input order; the scalar walk keeps the raw pair stream
+        (its level memo already amortizes repeats).
         """
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        s, t = as_pair_arrays(pairs, self.graph.n)
+        m = len(s)
+        if m == 0:
+            return np.zeros(0, dtype=bool)
+        if engine != "scalar":
+            codes = case_codes(self._in_cover[s], self._in_cover[t])
+            # As in KReachIndex.query_batch: kernels always see the
+            # deduplicated, case-grouped pairs.
+            us, ut, inverse = coalesce_pairs(s, t, self.graph.n, codes=codes)
+            return self._query_batch_arrays(us, ut, engine)[inverse]
+        return self._query_batch_arrays(s, t, engine)
+
+    def _query_batch_arrays(
+        self, s: np.ndarray, t: np.ndarray, engine: str
+    ) -> np.ndarray:
+        """Algorithm 3 over validated (s, t) columns (see :meth:`query_batch`)."""
         g, k = self.graph, self.k
-        s, t = as_pair_arrays(pairs, g.n)
         m = len(s)
         out = np.zeros(m, dtype=bool)
-        if m == 0:
-            return out
         np.equal(s, t, out=out)
         if k == 0:
             return out

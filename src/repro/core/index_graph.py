@@ -219,6 +219,37 @@ class IndexGraph:
         )
 
     @classmethod
+    def from_storage(
+        cls,
+        n: int,
+        cover_ids: np.ndarray,
+        indptr: np.ndarray,
+        targets: np.ndarray,
+        packed: PackedIntArray,
+        weight_base: int,
+        *,
+        keys: np.ndarray | None = None,
+        weights64: np.ndarray | None = None,
+    ) -> "IndexGraph":
+        """Install pre-built storage arrays verbatim (the zero-copy loader).
+
+        Unlike :meth:`from_triples` nothing is sorted, quantized, or
+        checked here — the caller (the v4 memory-mapped loader) owns the
+        arrays' integrity, typically via a format header plus optional
+        :meth:`validate`.  ``keys`` / ``weights64`` pre-install the
+        derived views the batch engine reads, so a query never has to
+        materialize them from the packed words; all arrays may be
+        read-only (memory-mapped) — every derived structure built later
+        is copy-on-build.
+        """
+        ig = cls(n, cover_ids, indptr, targets, packed, int(weight_base))
+        if keys is not None:
+            ig._keys = keys
+        if weights64 is not None:
+            ig._weights64 = weights64
+        return ig
+
+    @classmethod
     def from_rows(
         cls,
         n: int,

@@ -57,6 +57,7 @@ from repro.core.batch import (
     as_pair_arrays,
     case4_bitset_join,
     case_codes,
+    coalesce_pairs,
     gather_segments,
     segment_any,
     plan_cross_products,
@@ -189,10 +190,15 @@ class KReachIndex:
         self.graph = graph
         self.k = k
         self.cover = cover
-        # bytearray: fastest per-query membership flag in CPython.
-        self._cover_flags = bytearray(graph.n)
-        for v in cover:
-            self._cover_flags[v] = 1
+        # bytearray: fastest per-query membership flag in CPython.  Built
+        # through one numpy scatter instead of a Python loop — covers are
+        # |S|-sized and this runs on the serving tier's open path.
+        if cover:
+            flags = np.zeros(graph.n, dtype=np.uint8)
+            flags[np.fromiter(cover, dtype=np.int64, count=len(cover))] = 1
+            self._cover_flags = bytearray(flags.tobytes())
+        else:
+            self._cover_flags = bytearray(graph.n)
         # Pre-resolved query-time budgets (None = unbounded).
         self._b1_ok = k is None or k >= 1  # may a u == v handshake use k-1?
         self._b2_ok = k is None or k >= 2  # ... use k-2?
@@ -200,9 +206,13 @@ class KReachIndex:
         self.compress_rows_at = compress_rows_at
         self.bitset_matrix_bytes = int(bitset_matrix_bytes)
         self._wah = self._build_wah(compress_rows_at)
-        # Plain-list adjacency for the hot query loops.
-        self._out_lists = graph.out_lists()
-        self._in_lists = graph.in_lists()
+        # Plain-list adjacency for the hot scalar query loops — built on
+        # the first scalar query, not here: an O(n + m) list
+        # materialization at construction time would put the whole graph
+        # on the open path of the zero-copy loader (which must stay
+        # O(header)).  The batch engines never touch these lists.
+        self._out_lists: list[list[int]] | None = None
+        self._in_lists: list[list[int]] | None = None
         # Lazily-built scalar probe view and vectorized lookup structures.
         self._scalar: tuple | None = None
         self._keyed_rows: KeyedRowStore | None = None
@@ -239,16 +249,18 @@ class KReachIndex:
         """Assemble an index around a pre-built :class:`IndexGraph`.
 
         Used by the parallel builder (:mod:`repro.core.parallel`), the
-        on-disk loader (:mod:`repro.core.serialize`), and
+        on-disk loaders (:mod:`repro.core.serialize`), and
         :meth:`~repro.core.dynamic.DynamicKReachIndex.freeze`.  The caller
         is responsible for the contents being exactly what Algorithm 1
         would have produced for this ``(graph, k, cover)``.
         """
         self = object.__new__(cls)
+        if not isinstance(cover, frozenset):
+            cover = frozenset(int(v) for v in cover)
         self._finish_init(
             graph,
             k,
-            frozenset(int(v) for v in cover),
+            cover,
             index_graph,
             compress_rows_at,
             bitset_matrix_bytes,
@@ -395,6 +407,20 @@ class KReachIndex:
     # ------------------------------------------------------------------
     # Query processing (Algorithm 2)
     # ------------------------------------------------------------------
+    def _out_adj(self) -> list[list[int]]:
+        """Plain-list out-adjacency for the scalar loops (first use only —
+        each direction is O(n + m) of Python lists, so Case 1/2 queries
+        must never trigger the build)."""
+        if self._out_lists is None:
+            self._out_lists = self.graph.out_lists()
+        return self._out_lists
+
+    def _in_adj(self) -> list[list[int]]:
+        """Plain-list in-adjacency, built on first use (see :meth:`_out_adj`)."""
+        if self._in_lists is None:
+            self._in_lists = self.graph.in_lists()
+        return self._in_lists
+
     def query(self, s: int, t: int) -> bool:
         """Whether ``s →k t`` (``s → t`` for the n-reach mode)."""
         flags = self._cover_flags
@@ -413,14 +439,15 @@ class KReachIndex:
                 # Case 1: all stored weights are <= k by construction.
                 return probe(s, t) is not None
             # Case 2: all in-neighbors of t are covered.
+            in_lists = self._in_adj()
             if k is None:
-                for v in self._in_lists[t]:
+                for v in in_lists[t]:
                     if v == s or probe(s, v) is not None:
                         return True
                 return False
             budget = k - 1
             b1_ok = self._b1_ok
-            for v in self._in_lists[t]:
+            for v in in_lists[t]:
                 if v == s:
                     if b1_ok:
                         return True
@@ -432,13 +459,14 @@ class KReachIndex:
 
         if flags[t]:
             # Case 3: all out-neighbors of s are covered.
+            out_lists = self._out_adj()
             if k is None:
-                for u in self._out_lists[s]:
+                for u in out_lists[s]:
                     if u == t or probe(u, t) is not None:
                         return True
                 return False
             budget = k - 1
-            for u in self._out_lists[s]:
+            for u in out_lists[s]:
                 if u == t:
                     if self._b1_ok:
                         return True
@@ -449,7 +477,7 @@ class KReachIndex:
             return False
 
         # Case 4: bridge an out-neighbor of s to an in-neighbor of t.
-        preds = self._in_lists[t]
+        preds = self._in_adj()[t]
         if not preds:
             return False
         pred_set = set(preds)
@@ -457,7 +485,7 @@ class KReachIndex:
         budget = 0 if k is None else k - 2
         unbounded = k is None
         wah = self._wah
-        for u in self._out_lists[s]:
+        for u in self._out_adj()[s]:
             if b2_ok and u in pred_set:
                 return True  # s -> u -> t
             p = row_pos[u]
@@ -570,20 +598,42 @@ class KReachIndex:
           tests).
         * ``'scalar'`` — a plain per-pair :meth:`query` loop (the
           differential reference).
+
+        Before the kernels run, the vector engines deduplicate repeated
+        (s, t) pairs and group the distinct pairs by Algorithm-2 case
+        code (:func:`~repro.core.batch.coalesce_pairs`), scattering the
+        verdicts back to input order — a repeated-pair-heavy workload
+        pays each kernel once per *distinct* pair.
         """
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         g = self.graph
         s, t = as_pair_arrays(pairs, g.n)
         m = len(s)
-        out = np.zeros(m, dtype=bool)
         if m == 0:
-            return out
+            return np.zeros(0, dtype=bool)
         if engine == "scalar":
+            out = np.zeros(m, dtype=bool)
             query = self.query
             for i, (si, ti) in enumerate(zip(s.tolist(), t.tolist())):
                 out[i] = query(si, ti)
             return out
+        flags = self._flags()
+        codes = case_codes(flags[s], flags[t])
+        # Kernels always run over the deduplicated, case-grouped pairs:
+        # the sort is the dedup check anyway, so the grouping is free,
+        # and the O(m) inverse scatter is noise next to the kernels.
+        us, ut, inverse = coalesce_pairs(s, t, g.n, codes=codes)
+        return self._query_batch_arrays(us, ut, engine)[inverse]
+
+    def _query_batch_arrays(
+        self, s: np.ndarray, t: np.ndarray, engine: str
+    ) -> np.ndarray:
+        """The vector engines over validated (s, t) columns (see
+        :meth:`query_batch`)."""
+        g = self.graph
+        m = len(s)
+        out = np.zeros(m, dtype=bool)
         np.equal(s, t, out=out)
         k = self.k
         if k == 0:

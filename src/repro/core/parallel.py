@@ -16,6 +16,13 @@ arrays; on spawn platforms the graph is pickled once per worker.  The
 result is bit-identical to both single-process builders (asserted in the
 differential tests), so :func:`build_kreach_parallel` is a drop-in
 constructor.
+
+This pool is a **one-shot construction** tool: it spins up, sweeps, and
+tears down, so a per-start pickle (on spawn) is immaterial.  Query
+*serving* has the opposite profile — a long-lived pool answering many
+batches — and lives in :class:`repro.core.serve.QueryServer`, where
+workers share a :func:`~repro.core.serialize.save_mmap` file zero-copy
+and nothing graph-sized ever crosses a process boundary.
 """
 
 from __future__ import annotations

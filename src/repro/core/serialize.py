@@ -1,7 +1,7 @@
 """On-disk serialization of k-reach indexes.
 
 §4.1.3: "the constructed index is then stored on disk."  This module
-implements that step for both tiers of the system:
+implements that step for all three tiers of the system:
 
 * **v2 — static** (:func:`save_kreach` / :func:`load_kreach`): a
   :class:`~repro.core.kreach.KReachIndex` as a single compressed ``.npz``
@@ -20,14 +20,28 @@ implements that step for both tiers of the system:
   replays the log through the ordinary maintenance path, reproducing the
   exact overlay state; corrupt or truncated dumps raise
   :class:`ValueError` with a diagnosis instead of deserializing garbage.
+* **v4 — memory-mapped serving** (:func:`save_mmap` / :func:`load_mmap`):
+  the same static payload as v2, laid out **uncompressed** in one flat
+  file — a fixed magic/length prologue, a JSON section table, and every
+  array at a 64-byte-aligned offset in its exact in-memory dtype.
+  :func:`load_mmap` maps the file once and installs each array as a
+  zero-copy view: open time is O(header), not O(index), the first query
+  faults in only the pages it touches, and the OS page cache shares the
+  clean bytes across every process serving the same file (the substrate
+  :mod:`repro.core.serve` builds its worker pool on).  The derived
+  sorted key / weight row-store arrays are precomputed into the file, so
+  the batch engine's probe view is also zero-copy.  Arrays arrive
+  read-only (``mode='r'``); the whole query path is audited to be
+  copy-on-build on top of them.
 
-No Python-level edge loop runs in either direction on the array payload.
+No Python-level edge loop runs in any direction on the array payloads.
 Round-trip fidelity (identical query answers) is asserted in
-``tests/core/test_serialize.py``.
+``tests/core/test_serialize.py`` and ``tests/core/test_serialize_mmap.py``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import zlib
 from pathlib import Path
@@ -35,13 +49,21 @@ from zipfile import BadZipFile
 
 import numpy as np
 
+from repro.bitsets.ops import DEFAULT_MATRIX_BYTES
 from repro.bitsets.packed import PackedIntArray
 from repro.core.dynamic import OP_DELETE, OP_INSERT, DynamicKReachIndex
 from repro.core.index_graph import IndexGraph
 from repro.core.kreach import KReachIndex
 from repro.graph.digraph import DiGraph
 
-__all__ = ["save_kreach", "load_kreach", "save_dynamic", "load_dynamic"]
+__all__ = [
+    "save_kreach",
+    "load_kreach",
+    "save_dynamic",
+    "load_dynamic",
+    "save_mmap",
+    "load_mmap",
+]
 
 #: Stored sentinel for the unbounded (n-reach) mode.
 _K_UNBOUNDED = -1
@@ -53,6 +75,33 @@ _FORMAT_VERSION = 2
 #: Version 3: v2's base-snapshot arrays plus the pending delta log of a
 #: dynamic index.
 _DYNAMIC_FORMAT_VERSION = 3
+
+#: Version 4: the flat memory-mappable layout (see module docstring).
+_MMAP_FORMAT_VERSION = 4
+
+#: v4 file magic (8 bytes) followed by a little-endian uint64 header length.
+_MMAP_MAGIC = b"KREACH4\x00"
+_MMAP_PROLOGUE = 16
+
+#: Every v4 section starts at a multiple of this (cache-line alignment;
+#: any multiple of the widest itemsize would do for the views).
+_MMAP_ALIGN = 64
+
+#: The v4 section table: name -> dtype each array is stored (and mapped)
+#: in.  Dtypes match the in-memory representation exactly so every view
+#: is zero-copy (`graph_*_indices` are the DiGraph's int32 id dtype).
+_V4_SECTIONS = {
+    "graph_out_indptr": np.dtype("<i8"),
+    "graph_out_indices": np.dtype("<i4"),
+    "graph_in_indptr": np.dtype("<i8"),
+    "graph_in_indices": np.dtype("<i4"),
+    "cover_ids": np.dtype("<i8"),
+    "index_indptr": np.dtype("<i8"),
+    "index_targets": np.dtype("<i8"),
+    "weight_words": np.dtype("<u8"),
+    "row_keys": np.dtype("<i8"),
+    "row_weights": np.dtype("<i8"),
+}
 
 
 def _base_payload(index: KReachIndex) -> dict[str, np.ndarray]:
@@ -129,10 +178,25 @@ def save_kreach(index: KReachIndex, path: str | os.PathLike) -> None:
     )
 
 
+def _reject_v4(path: Path) -> None:
+    """Raise the diagnosed cross-version error when ``path`` is a v4 dump."""
+    try:
+        with open(path, "rb") as fh:
+            magic = fh.read(len(_MMAP_MAGIC))
+    except OSError:
+        return  # let the npz loader produce its own error
+    if magic == _MMAP_MAGIC:
+        raise ValueError(
+            f"{path} is a v{_MMAP_FORMAT_VERSION} memory-mapped dump; "
+            "load it with load_mmap"
+        )
+
+
 def load_kreach(
     path: str | os.PathLike, *, compress_rows_at: int | None = None
 ) -> KReachIndex:
     """Load an index written by :func:`save_kreach`."""
+    _reject_v4(Path(path))
     with np.load(Path(path)) as data:
         version = int(data["format_version"])
         if version == _DYNAMIC_FORMAT_VERSION:
@@ -182,6 +246,7 @@ def load_dynamic(path: str | os.PathLike) -> DynamicKReachIndex:
     otherwise unreadable file, raises :class:`ValueError` describing
     what is wrong with the dump.
     """
+    _reject_v4(Path(path))
     try:
         data_file = np.load(Path(path))
     except (BadZipFile, OSError, ValueError, EOFError) as exc:
@@ -252,3 +317,322 @@ def _validate_log(log: np.ndarray, declared: int, n: int) -> None:
         raise ValueError(
             f"corrupt delta log: vertex id out of range [0, {n})"
         )
+
+
+# ----------------------------------------------------------------------
+# v4: the flat memory-mapped serving format
+# ----------------------------------------------------------------------
+def _align(offset: int) -> int:
+    """Round ``offset`` up to the v4 section alignment."""
+    return (offset + _MMAP_ALIGN - 1) // _MMAP_ALIGN * _MMAP_ALIGN
+
+
+def _v4_arrays(index: KReachIndex) -> dict[str, np.ndarray]:
+    """The v4 payload in section order, coerced to the on-disk dtypes.
+
+    For an index whose arrays already live in the canonical dtypes (every
+    index this package builds) the coercions are no-ops; the derived
+    sorted key / weight row-store arrays are materialized here so the
+    loader never has to.
+    """
+    g = index.graph
+    ig = index.index_graph
+    arrays = {
+        "graph_out_indptr": g.out_indptr,
+        "graph_out_indices": g.out_indices,
+        "graph_in_indptr": g.in_indptr,
+        "graph_in_indices": g.in_indices,
+        "cover_ids": ig.cover_ids,
+        "index_indptr": ig.indptr,
+        "index_targets": ig.targets,
+        "weight_words": ig.packed.words,
+        "row_keys": ig.keys(),
+        "row_weights": ig.weights64(),
+    }
+    return {
+        name: np.ascontiguousarray(arr, dtype=_V4_SECTIONS[name])
+        for name, arr in arrays.items()
+    }
+
+
+def save_mmap(index: KReachIndex, path: str | os.PathLike) -> None:
+    """Write ``index`` as a flat memory-mappable file (v4).
+
+    Layout: an 8-byte magic, a little-endian uint64 header length, a JSON
+    header carrying the scalars (``k``, ``n``, weight encoding) and the
+    section table (relative offset, element count, dtype per array), then
+    every array's raw bytes at a 64-byte-aligned offset.  Unlike the v2
+    ``.npz`` the payload is **uncompressed** — the cost of a larger file
+    buys :func:`load_mmap` the right to map it zero-copy and lets the OS
+    page cache share the bytes across every serving process.
+    """
+    arrays = _v4_arrays(index)
+    sections: dict[str, dict[str, object]] = {}
+    offset = 0  # relative to the aligned payload base
+    payload_bytes = 0  # true (unpadded) end of the last section
+    for name, arr in arrays.items():
+        sections[name] = {
+            "offset": offset,
+            "count": int(arr.size),
+            "dtype": arr.dtype.str,
+        }
+        payload_bytes = offset + arr.nbytes
+        offset = _align(payload_bytes)
+    header = {
+        "format_version": _MMAP_FORMAT_VERSION,
+        "kind": "kreach",
+        "k": None if index.k is None else int(index.k),
+        "n": int(index.graph.n),
+        "weight_bits": int(index.index_graph.packed.bits),
+        "weight_base": int(index.index_graph.weight_base),
+        "payload_bytes": payload_bytes,
+        "sections": sections,
+    }
+    blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    base = _align(_MMAP_PROLOGUE + len(blob))
+    with open(Path(path), "wb") as fh:
+        fh.write(_MMAP_MAGIC)
+        fh.write(len(blob).to_bytes(8, "little"))
+        fh.write(blob)
+        for name, arr in arrays.items():
+            start = base + int(sections[name]["offset"])  # type: ignore[arg-type]
+            fh.write(b"\x00" * (start - fh.tell()))
+            fh.write(arr.data)
+
+
+def _npz_version_hint(path: Path) -> str:
+    """The cross-version message for a zip (npz) file handed to load_mmap."""
+    try:
+        with np.load(path) as data:
+            version = int(data["format_version"])
+    except Exception:
+        return (
+            f"{path} is a zip archive, not a v4 memory-mapped dump "
+            "(and not a readable k-reach npz either)"
+        )
+    loader = "load_dynamic" if version == _DYNAMIC_FORMAT_VERSION else "load_kreach"
+    return (
+        f"{path} is a v{version} compressed npz dump; load it with {loader}"
+    )
+
+
+def load_mmap(
+    path: str | os.PathLike,
+    *,
+    mode: str = "r",
+    validate: bool = False,
+    compress_rows_at: int | None = None,
+    bitset_matrix_bytes: int = DEFAULT_MATRIX_BYTES,
+) -> KReachIndex:
+    """Open an index written by :func:`save_mmap`, zero-copy.
+
+    The file is mapped once (``mode='r'``: shared read-only pages;
+    ``mode='c'``: copy-on-write, private) and every array is installed as
+    a view into the mapping — open cost is parsing the header plus O(1)
+    bounds checks per section, independent of index size.  Structural
+    problems the header can reveal — bad magic, corrupt JSON, a missing /
+    misaligned / out-of-bounds section, disagreeing array lengths — raise
+    :class:`ValueError` naming the offending section.  ``validate=True``
+    additionally runs the full O(index) integrity scan (CSR invariants,
+    sorted keys, weight consistency) for arrays of uncertain provenance;
+    the default trusts the header the same way every mmap-based store
+    does, since a full scan would defeat the O(header) open.
+
+    The returned :class:`KReachIndex` serves queries directly off the
+    read-only pages; every cache it builds lazily (link matrices, scalar
+    probe dicts, adjacency lists) is a private copy-on-build structure,
+    so many processes can open the same file and share its clean pages.
+    """
+    path = Path(path)
+    if mode not in ("r", "c"):
+        raise ValueError(f"mode must be 'r' or 'c', got {mode!r}")
+    try:
+        file_size = path.stat().st_size
+        with open(path, "rb") as fh:
+            prologue = fh.read(_MMAP_PROLOGUE)
+            if len(prologue) < _MMAP_PROLOGUE:
+                raise ValueError(
+                    f"corrupt v4 header in {path}: file shorter than the "
+                    f"{_MMAP_PROLOGUE}-byte prologue"
+                )
+            if prologue[:2] == b"PK":  # a zip: some npz-format dump
+                raise ValueError(_npz_version_hint(path))
+            if prologue[:8] != _MMAP_MAGIC:
+                raise ValueError(
+                    f"{path} is not a v4 k-reach dump (bad magic)"
+                )
+            hlen = int.from_bytes(prologue[8:16], "little")
+            if hlen <= 0 or _MMAP_PROLOGUE + hlen > file_size:
+                raise ValueError(
+                    f"corrupt v4 header in {path}: declared header length "
+                    f"{hlen} does not fit the {file_size}-byte file"
+                )
+            blob = fh.read(hlen)
+    except OSError as exc:
+        raise ValueError(f"cannot read v4 dump {path}: {exc}") from exc
+    try:
+        header = json.loads(blob)
+    except ValueError as exc:
+        raise ValueError(
+            f"corrupt v4 header in {path}: not valid JSON ({exc})"
+        ) from exc
+    version = header.get("format_version")
+    if version != _MMAP_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported k-reach mmap file version {version} "
+            f"(expected {_MMAP_FORMAT_VERSION})"
+        )
+    kind = header.get("kind")
+    if kind != "kreach":
+        raise ValueError(f"{path} holds a {kind!r} dump, not a k-reach index")
+    try:
+        n = int(header["n"])
+        k_raw = header["k"]
+        weight_bits = int(header["weight_bits"])
+        weight_base = int(header["weight_base"])
+        sections = header["sections"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"corrupt v4 header in {path}: missing or malformed field ({exc})"
+        ) from exc
+    if n < 0 or not 1 <= weight_bits <= 32:
+        raise ValueError(
+            f"corrupt v4 header in {path}: n={n}, weight_bits={weight_bits}"
+        )
+    k = None if k_raw is None else int(k_raw)
+    if not isinstance(sections, dict):
+        raise ValueError(f"corrupt v4 header in {path}: no section table")
+
+    base = _align(_MMAP_PROLOGUE + hlen)
+    # One shared mapping for the whole payload; every section is a view
+    # into it.  The raw mmap module beats np.memmap's subclass machinery
+    # by ~0.2 ms per open — which matters when open is the O(header)
+    # operation the serving tier spins workers on.
+    import mmap as mmap_mod
+
+    with open(path, "rb") as fh:
+        mapping = mmap_mod.mmap(
+            fh.fileno(),
+            0,
+            access=(
+                mmap_mod.ACCESS_READ if mode == "r" else mmap_mod.ACCESS_COPY
+            ),
+        )
+    buf = np.frombuffer(mapping, dtype=np.uint8)
+    views: dict[str, np.ndarray] = {}
+    payload_end = 0
+    for name, dtype in _V4_SECTIONS.items():
+        entry = sections.get(name)
+        if entry is None:
+            raise ValueError(f"corrupt v4 dump {path}: missing section {name!r}")
+        try:
+            rel = int(entry["offset"])
+            count = int(entry["count"])
+            declared = np.dtype(entry["dtype"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"corrupt v4 dump {path}: malformed entry for section "
+                f"{name!r} ({exc})"
+            ) from exc
+        if declared != dtype:
+            raise ValueError(
+                f"corrupt v4 dump {path}: section {name!r} declares dtype "
+                f"{declared}, expected {dtype}"
+            )
+        if count < 0 or rel < 0 or rel % _MMAP_ALIGN:
+            raise ValueError(
+                f"corrupt v4 dump {path}: section {name!r} has a bad or "
+                f"misaligned offset (offset={rel}, count={count})"
+            )
+        start = base + rel
+        stop = start + count * dtype.itemsize
+        if stop > file_size:
+            raise ValueError(
+                f"truncated v4 dump {path}: section {name!r} ends at byte "
+                f"{stop} but the file holds only {file_size}"
+            )
+        payload_end = max(payload_end, rel + count * dtype.itemsize)
+        views[name] = buf[start:stop].view(dtype)
+    declared_payload = header.get("payload_bytes")
+    if declared_payload != payload_end:
+        raise ValueError(
+            f"corrupt v4 header in {path}: payload_bytes "
+            f"{declared_payload!r} disagrees with the section table end "
+            f"{payload_end}"
+        )
+
+    def bad(section: str, msg: str) -> ValueError:
+        return ValueError(f"corrupt v4 dump {path}: section {section!r} {msg}")
+
+    # O(1) cross-section consistency — enough to make every later array
+    # access in-bounds without scanning any payload.
+    edges = len(views["index_targets"])
+    if len(views["graph_out_indptr"]) != n + 1:
+        raise bad("graph_out_indptr", f"must hold {n + 1} offsets")
+    if len(views["graph_in_indptr"]) != n + 1:
+        raise bad("graph_in_indptr", f"must hold {n + 1} offsets")
+    if len(views["graph_out_indices"]) != len(views["graph_in_indices"]):
+        raise bad("graph_in_indices", "disagrees with the out-direction on |E|")
+    if len(views["index_indptr"]) != len(views["cover_ids"]) + 1:
+        raise bad("index_indptr", "must hold cover size + 1 offsets")
+    cover_ids = views["cover_ids"]
+    if len(cover_ids):
+        # O(|S|) — the open path already scatters over the cover, and a
+        # bad id here would corrupt that scatter silently (negative ids
+        # wrap) or crash it undiagnosed (ids >= n).
+        if int(cover_ids.min()) < 0 or int(cover_ids.max()) >= n:
+            raise bad("cover_ids", f"holds vertex ids outside [0, {n})")
+        if len(cover_ids) > 1 and not bool(np.all(cover_ids[1:] > cover_ids[:-1])):
+            raise bad("cover_ids", "must be strictly ascending")
+    if int(views["index_indptr"][-1]) != edges:
+        raise bad("index_indptr", f"must end at the {edges}-edge target count")
+    if len(views["row_keys"]) != edges or len(views["row_weights"]) != edges:
+        raise bad("row_keys", "must align with index_targets")
+    expected_words = (edges * weight_bits + 63) // 64 + 1
+    if len(views["weight_words"]) != expected_words:
+        raise bad(
+            "weight_words",
+            f"must hold {expected_words} words for {edges} "
+            f"{weight_bits}-bit weights",
+        )
+
+    g = DiGraph.from_csr(
+        views["graph_out_indptr"],
+        views["graph_out_indices"],
+        in_indptr=views["graph_in_indptr"],
+        in_indices=views["graph_in_indices"],
+        validate=validate,
+    )
+    packed = PackedIntArray.from_words(
+        views["weight_words"], edges, bits=weight_bits, copy=False
+    )
+    ig = IndexGraph.from_storage(
+        n,
+        views["cover_ids"],
+        views["index_indptr"],
+        views["index_targets"],
+        packed,
+        weight_base,
+        keys=views["row_keys"],
+        weights64=views["row_weights"],
+    )
+    if validate:
+        ig.validate()
+        keys = views["row_keys"]
+        if len(keys) > 1 and not bool(np.all(keys[:-1] < keys[1:])):
+            raise bad("row_keys", "must be strictly ascending")
+        heads = np.repeat(views["cover_ids"], np.diff(views["index_indptr"]))
+        if not np.array_equal(keys, heads * np.int64(n) + views["index_targets"]):
+            raise bad("row_keys", "disagrees with the index CSR")
+        if not np.array_equal(
+            views["row_weights"], packed.as_numpy() + weight_base
+        ):
+            raise bad("row_weights", "disagrees with the packed weight words")
+    return KReachIndex.from_index_graph(
+        g,
+        k,
+        cover=frozenset(views["cover_ids"].tolist()),
+        index_graph=ig,
+        compress_rows_at=compress_rows_at,
+        bitset_matrix_bytes=bitset_matrix_bytes,
+    )

@@ -1,0 +1,730 @@
+"""Shared-memory multi-process query serving over a v4 index file.
+
+The batch engines in :mod:`repro.core.kreach` saturate exactly one CPU:
+numpy kernels release the GIL only inside individual ufunc calls, so one
+process is one core's worth of throughput no matter how many queries are
+queued.  :class:`QueryServer` is the serving tier the ROADMAP's
+"millions of users" story needs — a persistent pool of worker processes
+that scales batch-query throughput with cores:
+
+* **Shared index, O(1) worker start-up.**  Every worker opens the same
+  :func:`~repro.core.serialize.save_mmap` file via
+  :func:`~repro.core.serialize.load_mmap`; the OS page cache backs all of
+  them with one copy of the clean index pages.  Nothing graph-sized is
+  ever pickled to a worker — the re-pickle-per-pool-start pattern of
+  :mod:`repro.core.parallel` (fine for one-shot construction, wrong for a
+  serving loop) does not appear here.  Only the lazily built caches
+  (link matrices, probe dicts) are per-worker, copy-on-build.
+* **Shared-memory dispatch.**  Query pairs travel to workers — and
+  verdicts travel back — through preallocated shared-memory ndarray
+  slots; the per-worker control pipes carry only tiny ``(slot, count)``
+  tuples (each an atomic pipe write — a crashed worker cannot tear or
+  wedge the transport), so no per-batch serialization of sources,
+  targets, or results ever happens.
+* **Case-code pre-split.**  The parent splits each batch by Algorithm-2
+  case code before sharding, so every worker receives the same *mix* of
+  cases — no worker inherits all the expensive Case-4 pairs.  (Each
+  share also happens to arrive case-grouped, a free by-product of the
+  split; the engine's own dedup sort re-establishes its order either
+  way.)
+* **Pipelined mode.**  :meth:`submit` returns a ticket without waiting;
+  slots are double-buffered per worker, so the next shard's pairs are
+  being copied in while the previous shard computes.  :meth:`collect`
+  reassembles a ticket's verdicts in input order.
+* **Worker supervision.**  A worker that dies mid-stream (OOM-killed,
+  crashed, or :meth:`restart_worker`) is respawned and its in-flight
+  shards are re-dispatched; results from a dead generation are dropped
+  by a generation tag, so answers stay exact across restarts.
+
+Differential guarantee: ``server.query_batch(pairs)`` is bit-identical
+to the in-process ``load_mmap(path).query_batch(pairs)`` for every
+engine and worker count (pinned by ``tests/core/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from collections import deque
+from multiprocessing import connection as mp_connection
+from multiprocessing import sharedctypes
+
+import numpy as np
+
+from repro.core.batch import as_pair_arrays, case_codes
+from repro.core.kreach import _ENGINES
+
+__all__ = ["QueryServer"]
+
+#: Default pairs per shared-memory slot (the dispatch granularity).
+DEFAULT_SLOT_PAIRS = 1 << 15
+
+#: Default slots per worker — 2 double-buffers transfer against compute.
+DEFAULT_SLOTS_PER_WORKER = 2
+
+#: Seconds the result-drain loop waits before re-checking worker health.
+_HEALTH_POLL_S = 1.0
+
+#: Times one shard may be re-dispatched after killing its worker before
+#: its ticket is failed — a poison shard (e.g. a batch whose kernel
+#: deterministically OOMs the worker) must surface an error, not revive
+#: workers forever.
+_MAX_SHARD_RETRIES = 2
+
+#: Tracebacks are truncated to this many characters before crossing a
+#: control pipe, keeping every frame under PIPE_BUF so each send is one
+#: atomic write (see :func:`_worker_main`).
+_MAX_ERROR_CHARS = 2000
+
+
+def _worker_main(
+    path,
+    worker_id,
+    generation,
+    slots,
+    slot_pairs,
+    raw_in,
+    raw_out,
+    task_r,
+    result_w,
+    engine,
+    prepare,
+):
+    """Worker loop: open the shared file, then serve slots until ``None``.
+
+    Runs in a child process.  All heavy state (the index) comes from the
+    memory-mapped file — the only constructor traffic is this argument
+    tuple.  Control messages travel over per-worker pipes and are sent
+    *directly* (no mp.Queue feeder thread): every frame stays far below
+    PIPE_BUF, so each send is one atomic pipe write — a crash can end the
+    stream (EOF) but can never leave a torn frame, and there is no
+    cross-process queue lock a dying worker could take to its grave (the
+    failure mode that wedges a shared mp.Queue on a hard kill).  Every
+    message carries ``(worker_id, generation)`` so the parent can discard
+    echoes from a generation it has already restarted.
+    """
+    import traceback
+
+    from repro.core.serialize import load_mmap
+
+    def send(kind, detail=None):
+        result_w.send((kind, worker_id, generation, detail))
+
+    try:
+        index = load_mmap(path)
+        if prepare:
+            index.prepare_batch()
+    except BaseException:
+        send("init_error", traceback.format_exc()[-_MAX_ERROR_CHARS:])
+        return
+    pairs_view = np.frombuffer(raw_in, dtype=np.int64).reshape(
+        slots, slot_pairs, 2
+    )
+    out_view = np.frombuffer(raw_out, dtype=np.uint8).reshape(slots, slot_pairs)
+    send("ready")
+    while True:
+        try:
+            msg = task_r.recv()
+        except (EOFError, OSError):
+            break  # parent vanished; exit quietly
+        if msg is None:
+            break
+        slot, count, eng = msg
+        try:
+            verdicts = index.query_batch(
+                pairs_view[slot, :count], engine=eng or engine
+            )
+            out_view[slot, :count] = verdicts
+            send("done", slot)
+        except BaseException:
+            send(
+                "task_error",
+                (slot, traceback.format_exc()[-_MAX_ERROR_CHARS:]),
+            )
+
+
+class _Ticket:
+    """One submitted batch: its output buffer and outstanding shard count."""
+
+    __slots__ = ("id", "s", "t", "out", "remaining", "error")
+
+    def __init__(self, ticket_id: int, s: np.ndarray, t: np.ndarray) -> None:
+        self.id = ticket_id
+        self.s = s
+        self.t = t
+        self.out = np.zeros(len(s), dtype=bool)
+        self.remaining = 0
+        self.error: str | None = None
+
+
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = (
+        "id",
+        "raw_in",
+        "raw_out",
+        "in_view",
+        "out_view",
+        "task_w",
+        "result_r",
+        "awaiting_ready",
+        "process",
+        "generation",
+        "free_slots",
+        "inflight",
+        "backlog",
+        "reviving",
+    )
+
+    def __init__(self, worker_id: int, slots: int, slot_pairs: int) -> None:
+        self.id = worker_id
+        self.raw_in = sharedctypes.RawArray("b", slots * slot_pairs * 2 * 8)
+        self.raw_out = sharedctypes.RawArray("b", slots * slot_pairs)
+        self.in_view = np.frombuffer(self.raw_in, dtype=np.int64).reshape(
+            slots, slot_pairs, 2
+        )
+        self.out_view = np.frombuffer(self.raw_out, dtype=np.uint8).reshape(
+            slots, slot_pairs
+        )
+        self.task_w = None  # parent's send end of the task pipe
+        self.result_r = None  # parent's receive end of the result pipe
+        self.awaiting_ready = False
+        self.process = None
+        self.generation = -1
+        self.free_slots: list[int] = list(range(slots))
+        # slot -> (ticket, positions, engine, attempts); shards
+        # re-dispatched (attempts + 1) on a restart, failed past the cap.
+        self.inflight: dict[
+            int, tuple[_Ticket, np.ndarray, str | None, int]
+        ] = {}
+        # (ticket, positions, engine, attempts) awaiting a free slot.
+        self.backlog: deque[tuple[_Ticket, np.ndarray, str | None, int]] = (
+            deque()
+        )
+        self.reviving = False
+
+
+class QueryServer:
+    """A persistent multi-process batch-query pool over one v4 file.
+
+    Parameters
+    ----------
+    path:
+        A file written by :func:`~repro.core.serialize.save_mmap`.  Each
+        worker (and the parent, for the case pre-split) opens it
+        zero-copy; the kernel shares the clean pages between them.
+    workers:
+        Pool size.  Throughput scales with cores until the memory bus
+        saturates; 1 is a valid (supervised, out-of-process) deployment.
+    engine:
+        Default engine workers pass to
+        :meth:`~repro.core.kreach.KReachIndex.query_batch`; individual
+        calls may override it.
+    slot_pairs:
+        Capacity of one shared-memory slot.  Batches larger than one
+        slot are sharded transparently; bigger slots amortize dispatch,
+        smaller ones pipeline sooner.
+    slots_per_worker:
+        Shared-memory slots per worker (2 = double buffering: the parent
+        fills one slot while the worker computes the other).
+    prepare:
+        Run :meth:`~repro.core.kreach.KReachIndex.prepare_batch` in each
+        worker at start-up so steady-state queries never pay the lazy
+        link-matrix build.
+    start_method:
+        Multiprocessing start method; default ``'fork'`` where available
+        (workers then inherit nothing index-sized — the index comes from
+        the file either way).
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro.core import KReachIndex, save_mmap
+    >>> from repro.graph.generators import gnp_digraph
+    >>> g = gnp_digraph(60, 0.08, seed=1)
+    >>> fd, path = tempfile.mkstemp(suffix=".kr4"); os.close(fd)
+    >>> save_mmap(KReachIndex(g, 3), path)
+    >>> with QueryServer(path, workers=2) as server:
+    ...     verdicts = server.query_batch([(0, 5), (5, 0), (3, 3)])
+    >>> verdicts.dtype.name, len(verdicts)
+    ('bool', 3)
+    >>> os.unlink(path)
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        workers: int = 2,
+        engine: str = "auto",
+        slot_pairs: int = DEFAULT_SLOT_PAIRS,
+        slots_per_worker: int = DEFAULT_SLOTS_PER_WORKER,
+        prepare: bool = True,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if slot_pairs < 1:
+            raise ValueError(f"slot_pairs must be >= 1, got {slot_pairs}")
+        if slots_per_worker < 1:
+            raise ValueError(
+                f"slots_per_worker must be >= 1, got {slots_per_worker}"
+            )
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        from repro.core.serialize import load_mmap
+
+        self._path = os.fspath(path)
+        self._engine = engine
+        self._slot_pairs = int(slot_pairs)
+        self._slots = int(slots_per_worker)
+        self._prepare = bool(prepare)
+        # The parent's own O(header) view: cover flags for the case
+        # pre-split and input validation.  It never runs a kernel.
+        self._index = load_mmap(self._path)
+        self._n = self._index.graph.n
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self._workers = [
+            _Worker(i, self._slots, self._slot_pairs) for i in range(workers)
+        ]
+        self._tickets: dict[int, _Ticket] = {}
+        self._next_ticket = 0
+        self._closed = False
+        self.restarts = 0
+        self.pairs_served = 0
+        try:
+            for w in self._workers:
+                self._spawn(w)
+            self._await_ready(self._workers)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, w: _Worker) -> None:
+        """Start (or restart) one worker process on a fresh generation.
+
+        Each generation gets fresh per-worker control pipes: a crashing
+        worker can affect at most its own channel, and replacing the
+        pipes on revive discards any stale bytes along with it.
+        """
+        w.generation += 1
+        task_r, task_w = self._ctx.Pipe(duplex=False)
+        result_r, result_w = self._ctx.Pipe(duplex=False)
+        w.task_w = task_w
+        w.result_r = result_r
+        w.awaiting_ready = True
+        w.process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._path,
+                w.id,
+                w.generation,
+                self._slots,
+                self._slot_pairs,
+                w.raw_in,
+                w.raw_out,
+                task_r,
+                result_w,
+                self._engine,
+                self._prepare,
+            ),
+            daemon=True,
+        )
+        w.process.start()
+        # The child holds its own copies; closing the parent's lets a
+        # dead worker's result pipe read EOF instead of blocking.
+        task_r.close()
+        result_w.close()
+
+    def _pump(self, timeout: float) -> bool:
+        """Receive and apply every available worker message.
+
+        Waits up to ``timeout`` for traffic on the per-worker result
+        connections, then drains each readable one frame by frame
+        (frames are atomic single writes, so a readable connection
+        always yields complete messages without blocking).  A connection
+        at EOF — its worker died — is closed and detached; the liveness
+        paths revive the worker with fresh pipes.  Returns whether any
+        message was handled.
+        """
+        conns = {
+            w.result_r: w for w in self._workers if w.result_r is not None
+        }
+        if not conns:
+            return False
+        handled = False
+        for conn in mp_connection.wait(list(conns), timeout):
+            w = conns[conn]
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    conn.close()
+                    if w.result_r is conn:
+                        w.result_r = None
+                    break
+                handled = True
+                self._handle_message(msg)
+        return handled
+
+    def _await_ready(self, pending: list[_Worker]) -> None:
+        """Block until every worker in ``pending`` reports ready.
+
+        Other traffic (``done`` results from healthy workers) arriving
+        meanwhile is handled normally, never dropped.
+        """
+        while any(w.awaiting_ready for w in pending):
+            if self._pump(_HEALTH_POLL_S):
+                continue
+            for w in pending:
+                if w.awaiting_ready and not w.process.is_alive():
+                    self._pump(0)  # a final init_error may still be queued
+                    if w.awaiting_ready:
+                        raise RuntimeError(
+                            f"query-server worker {w.id} died during start-up"
+                        )
+
+    def _revive(self, w: _Worker) -> None:
+        """Respawn a dead worker and requeue everything it was holding."""
+        if w.process is not None:
+            w.process.join(timeout=5)
+        self.restarts += 1
+        w.reviving = True
+        try:
+            # Settle whatever the old generation already delivered before
+            # its channel is torn down — a gracefully drained worker
+            # completed its queued shards on the way out, and dropping
+            # those answers would recompute them for nothing.
+            if w.result_r is not None:
+                try:
+                    while w.result_r.poll(0):
+                        self._handle_message(w.result_r.recv())
+                except (EOFError, OSError):
+                    pass
+                w.result_r.close()
+                w.result_r = None
+            if w.task_w is not None:
+                try:
+                    w.task_w.close()
+                except OSError:
+                    pass
+                w.task_w = None
+            # Remaining in-flight shards (whose results never arrived) go
+            # back to the front of the backlog; their slots are free
+            # again (the new generation never saw them).  A shard that
+            # has already been re-dispatched past the retry cap fails
+            # its ticket instead — it is the likely worker-killer, and
+            # requeueing it forever would revive workers in a loop.
+            for slot in sorted(w.inflight):
+                ticket, positions, eng, attempts = w.inflight.pop(slot)
+                if attempts >= _MAX_SHARD_RETRIES:
+                    ticket.error = ticket.error or (
+                        f"shard of {len(positions)} pairs was re-dispatched "
+                        f"{attempts} times after killing its worker"
+                    )
+                    ticket.remaining -= 1
+                else:
+                    w.backlog.appendleft(
+                        (ticket, positions, eng, attempts + 1)
+                    )
+            w.free_slots = list(range(self._slots))
+            self._spawn(w)
+            self._await_ready([w])
+        finally:
+            w.reviving = False
+        self._dispatch(w)
+
+    def restart_worker(self, worker_id: int) -> None:
+        """Restart one worker, re-dispatching its in-flight work.
+
+        Safe mid-stream: the worker is drained first (a stop sentinel,
+        then a bounded join) so in-progress shards finish; only a hung
+        worker is terminated.  Results it already sent settle normally —
+        a shard is only re-dispatched if its ``done`` message never
+        arrived, and the generation tag keeps the two paths from
+        double-counting.  This is also the recovery path the server
+        takes on its own when it notices a worker died.
+        """
+        self._check_open()
+        w = self._workers[worker_id]
+        if w.process is not None and w.process.is_alive():
+            if w.task_w is not None:
+                try:
+                    w.task_w.send(None)
+                except (OSError, ValueError):
+                    pass
+            w.process.join(timeout=5)
+            if w.process.is_alive():
+                w.process.terminate()
+        self._revive(w)
+
+    # ------------------------------------------------------------------
+    # Dispatch plumbing
+    # ------------------------------------------------------------------
+    def _shard(self, codes: np.ndarray) -> list[np.ndarray]:
+        """Per-worker position arrays, case-balanced.
+
+        For each Algorithm-2 case, its pairs are split contiguously
+        across the pool — every worker gets ~1/W of each case, so the
+        load stays balanced even though Case 4 costs orders of magnitude
+        more than Case 1.  (The case-by-case ordering of each share is a
+        free by-product, not something workers rely on.)
+        """
+        count = len(self._workers)
+        if count == 1:
+            return [np.arange(len(codes), dtype=np.int64)]
+        shares: list[list[np.ndarray]] = [[] for _ in range(count)]
+        for case in (1, 2, 3, 4):
+            positions = np.flatnonzero(codes == case)
+            if not len(positions):
+                continue
+            for i, part in enumerate(np.array_split(positions, count)):
+                if len(part):
+                    shares[i].append(part)
+        return [
+            np.concatenate(parts)
+            if parts
+            else np.empty(0, dtype=np.int64)
+            for parts in shares
+        ]
+
+    def _dispatch(self, w: _Worker) -> None:
+        """Move backlog shards into free slots and notify the worker.
+
+        A worker that died while idle is revived *here*, before any
+        shard lands in its slots — otherwise the death would only be
+        noticed by the blocking drain's health poll, a guaranteed
+        latency spike on the first post-death batch.
+        """
+        if w.reviving:
+            return  # _revive re-dispatches once the new generation is up
+        if w.backlog and (
+            w.process is None
+            or w.result_r is None
+            or not w.process.is_alive()
+        ):
+            self._revive(w)  # _revive re-enters _dispatch on the new process
+            return
+        while w.free_slots and w.backlog:
+            ticket, positions, eng, attempts = w.backlog.popleft()
+            slot = w.free_slots.pop()
+            count = len(positions)
+            w.in_view[slot, :count, 0] = ticket.s[positions]
+            w.in_view[slot, :count, 1] = ticket.t[positions]
+            w.inflight[slot] = (ticket, positions, eng, attempts)
+            try:
+                w.task_w.send((slot, count, eng))
+            except (OSError, ValueError):
+                # Died between the liveness check and the send: roll the
+                # shard back and restart the worker.
+                del w.inflight[slot]
+                w.free_slots.append(slot)
+                w.backlog.appendleft((ticket, positions, eng, attempts))
+                self._revive(w)
+                return
+
+    def _handle_message(self, msg) -> tuple[str, int, int]:
+        """Apply one result-queue message; returns (kind, worker, gen).
+
+        Messages from a generation the parent has already replaced are
+        reported as ``'stale'`` and otherwise ignored — their shards were
+        re-dispatched when the worker was revived.
+        """
+        kind, worker_id, generation, detail = msg
+        w = self._workers[worker_id]
+        if generation != w.generation:
+            return ("stale", worker_id, generation)
+        if kind == "ready":
+            w.awaiting_ready = False
+        if kind == "init_error":
+            raise RuntimeError(
+                f"query-server worker {worker_id} failed to start:\n{detail}"
+            )
+        if kind in ("done", "task_error"):
+            slot, error = (detail, None) if kind == "done" else detail
+            ticket, positions, _, _ = w.inflight.pop(slot)
+            count = len(positions)
+            if error is None:
+                ticket.out[positions] = w.out_view[slot, :count] != 0
+            else:
+                # The shard failed in the worker (the worker itself is
+                # alive).  Fail only this ticket — the slot is recovered
+                # and the pool keeps serving other tickets; collect()
+                # raises once the ticket settles.
+                ticket.error = ticket.error or error
+            ticket.remaining -= 1
+            w.free_slots.append(slot)
+            self._dispatch(w)
+        return (kind, worker_id, generation)
+
+    def _drain(self, block: bool) -> bool:
+        """Process available worker messages; returns whether any arrived.
+
+        On a quiet interval with ``block=True`` the pool is
+        health-checked and any dead worker revived (its shards
+        re-dispatched), so a caller looping on :meth:`collect` can never
+        deadlock on a crashed worker.
+        """
+        handled = self._pump(_HEALTH_POLL_S if block else 0)
+        if not handled and block:
+            for w in self._workers:
+                if (w.inflight or w.backlog) and (
+                    w.result_r is None or not w.process.is_alive()
+                ):
+                    self._revive(w)
+        return handled
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("QueryServer is closed")
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def submit(self, pairs, *, engine: str | None = None) -> int:
+        """Enqueue a batch; returns a ticket for :meth:`collect`.
+
+        The batch is validated, pre-split by case code, sharded across
+        the pool in slot-sized chunks, and the first chunks start
+        transferring immediately — call :meth:`submit` again before
+        :meth:`collect` to pipeline batches through the pool.
+        """
+        self._check_open()
+        if engine is not None and engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        s, t = as_pair_arrays(pairs, self._n)
+        ticket = _Ticket(self._next_ticket, s, t)
+        self._next_ticket += 1
+        self._tickets[ticket.id] = ticket
+        if len(s):
+            flags = self._index._flags()
+            shares = self._shard(case_codes(flags[s], flags[t]))
+            for w, share in zip(self._workers, shares):
+                for start in range(0, len(share), self._slot_pairs):
+                    w.backlog.append(
+                        (
+                            ticket,
+                            share[start : start + self._slot_pairs],
+                            engine,
+                            0,
+                        )
+                    )
+                    ticket.remaining += 1
+                self._dispatch(w)
+        self.pairs_served += len(s)
+        while self._drain(block=False):  # opportunistic, non-blocking
+            pass
+        return ticket.id
+
+    def collect(self, ticket_id: int) -> np.ndarray:
+        """Block until a ticket's shards are done; verdicts in input order.
+
+        If any shard raised inside a worker, the ticket settles (its
+        slots are recovered, the pool stays serviceable) and the worker's
+        traceback is re-raised here as :class:`RuntimeError`.
+        """
+        self._check_open()
+        ticket = self._tickets.get(ticket_id)
+        if ticket is None:
+            raise KeyError(f"unknown or already-collected ticket {ticket_id}")
+        while ticket.remaining:
+            self._drain(block=True)
+        del self._tickets[ticket_id]
+        if ticket.error is not None:
+            raise RuntimeError(
+                f"query-server batch {ticket_id} failed in a worker:\n"
+                f"{ticket.error}"
+            )
+        return ticket.out
+
+    def query_batch(self, pairs, *, engine: str | None = None) -> np.ndarray:
+        """Synchronous round-trip: ``collect(submit(pairs))``.
+
+        Bit-identical to the in-process
+        :meth:`~repro.core.kreach.KReachIndex.query_batch` on the same
+        file, for every engine and worker count.
+        """
+        return self.collect(self.submit(pairs, engine=engine))
+
+    # ------------------------------------------------------------------
+    # Introspection & shutdown
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Pool size."""
+        return len(self._workers)
+
+    @property
+    def index(self):
+        """The parent's zero-copy view of the served index (read-only use)."""
+        return self._index
+
+    def stats(self) -> dict[str, int]:
+        """Counters: pairs served, outstanding tickets, worker restarts."""
+        return {
+            "workers": len(self._workers),
+            "pairs_served": self.pairs_served,
+            "outstanding_tickets": len(self._tickets),
+            "restarts": self.restarts,
+        }
+
+    def close(self) -> None:
+        """Stop every worker and release the control pipes.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._workers:
+            if w.process is None:
+                continue
+            if w.process.is_alive() and w.task_w is not None:
+                try:
+                    w.task_w.send(None)
+                except (OSError, ValueError):
+                    pass
+            w.process.join(timeout=5)
+            if w.process.is_alive():
+                w.process.terminate()
+                w.process.join(timeout=5)
+            for conn in (w.task_w, w.result_r):
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+            w.task_w = None
+            w.result_r = None
+        self._tickets.clear()
+        # Drop the parent's mapping of the served file so the mmap can be
+        # collected — on platforms where a mapped file cannot be deleted
+        # (Windows), a TemporaryDirectory holding the .kr4 must be able
+        # to clean up once the server is closed.
+        self._index = None
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"QueryServer(path={self._path!r}, workers={len(self._workers)}, "
+            f"{state})"
+        )

@@ -195,6 +195,7 @@ class DiGraph:
         *,
         in_indptr: np.ndarray | None = None,
         in_indices: np.ndarray | None = None,
+        validate: bool = True,
     ) -> "DiGraph":
         """Build from existing CSR arrays, validating the invariants.
 
@@ -210,6 +211,13 @@ class DiGraph:
         from two different graphs; only a permutation *within* matching
         degree histograms could still slip through (a full transpose
         cross-check would cost a rebuild).
+
+        ``validate=False`` (dual-CSR path only) installs the arrays after
+        O(1) shape checks, skipping the O(m) scans — the memory-mapped
+        loader's open-in-O(header) path, for arrays produced by this
+        package and protected by a format header.  Arrays from anywhere
+        else must keep ``validate=True``: a single unsorted row silently
+        corrupts every binary-search probe.
         """
         out_indptr = np.asarray(out_indptr, dtype=np.int64)
         n = len(out_indptr) - 1
@@ -231,19 +239,29 @@ class DiGraph:
             raise ValueError("in_indptr and out_indptr disagree on vertex count")
         if len(out_indices) != len(in_indices):
             raise ValueError("out- and in-direction edge counts disagree")
-        for name, indptr, indices in (
-            ("out", out_indptr, out_indices),
-            ("in", in_indptr, in_indices),
-        ):
-            validate_csr(name, n, indptr, indices)
-        if not np.array_equal(
-            np.bincount(out_indices, minlength=n), np.diff(in_indptr)
-        ) or not np.array_equal(
-            np.bincount(in_indices, minlength=n), np.diff(out_indptr)
-        ):
-            raise ValueError(
-                "in- and out-direction CSRs are not transposes of each other"
-            )
+        if validate:
+            for name, indptr, indices in (
+                ("out", out_indptr, out_indices),
+                ("in", in_indptr, in_indices),
+            ):
+                validate_csr(name, n, indptr, indices)
+            if not np.array_equal(
+                np.bincount(out_indices, minlength=n), np.diff(in_indptr)
+            ) or not np.array_equal(
+                np.bincount(in_indices, minlength=n), np.diff(out_indptr)
+            ):
+                raise ValueError(
+                    "in- and out-direction CSRs are not transposes of each other"
+                )
+        else:  # trusted install: O(1) span checks only
+            for name, indptr, indices in (
+                ("out", out_indptr, out_indices),
+                ("in", in_indptr, in_indices),
+            ):
+                if int(indptr[0]) != 0 or int(indptr[-1]) != len(indices):
+                    raise ValueError(
+                        f"{name}_indptr must start at 0 and end at {len(indices)}"
+                    )
         g = object.__new__(cls)
         g.n = n
         g.m = int(len(out_indices))

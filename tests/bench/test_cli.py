@@ -96,3 +96,25 @@ class TestWorkersFlag:
                    "--datasets", "GO", "--workers", "2"])
         capsys.readouterr()
         assert rc == 0
+
+
+class TestJsonMetadata:
+    def test_meta_block_embedded(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "meta.json"
+        rc = main(["table8", "--scale", "0.03", "--queries", "100",
+                   "--datasets", "GO", "--json", str(target)])
+        capsys.readouterr()
+        assert rc == 0
+        meta = json.loads(target.read_text())["meta"]
+        # Provenance the cross-PR bench trajectory needs.
+        for key in ("git_sha", "numpy_version", "python_version",
+                    "platform", "cpu_count", "timestamp_utc"):
+            assert key in meta, key
+        import numpy as np
+
+        assert meta["numpy_version"] == np.__version__
+        # os.cpu_count() may legitimately return None on some platforms.
+        assert meta["cpu_count"] is None or meta["cpu_count"] >= 1
+        assert "T" in meta["timestamp_utc"]  # ISO-8601

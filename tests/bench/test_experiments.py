@@ -141,3 +141,21 @@ def test_run_dynamic_smoke():
     assert total["overlay µs/q"] > 0
     assert total["scalar µs/q"] > 0
     assert total["rebuild ms"] > 0
+
+
+def test_run_serve_smoke():
+    from repro.bench.experiments import run_serve
+
+    config = SuiteConfig(
+        datasets=("GO",), scale=0.03, queries=100, seed=2,
+        serve_workers=(1, 2),
+    )
+    open_table, tput = run_serve(config)
+    assert [r["dataset"] for r in open_table.rows] == ["GO", "TOTAL"]
+    total_open = open_table.rows[-1]
+    assert total_open["v2 load ms"] > 0 and total_open["v4 open ms"] > 0
+    assert [r["dataset"] for r in tput.rows] == ["GO", "TOTAL"]
+    total = tput.rows[-1]
+    assert total["inproc ms"] > 0
+    assert total["serve@1 ms"] > 0 and total["serve@2 ms"] > 0
+    assert all(r["agree"] == "yes" for r in tput.rows)

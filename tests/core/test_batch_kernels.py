@@ -163,3 +163,46 @@ class TestHasEdgeBatch:
     def test_edgeless_graph(self):
         g = DiGraph(4)
         assert not has_edge_batch(g, np.array([0, 1]), np.array([1, 2])).any()
+
+
+class TestCoalescePairs:
+    def test_dedup_and_inverse(self):
+        from repro.core.batch import coalesce_pairs
+
+        s = np.array([3, 0, 3, 0, 1])
+        t = np.array([1, 2, 1, 2, 1])
+        us, ut, inv = coalesce_pairs(s, t, 4)
+        assert len(us) == 3
+        assert np.array_equal(us[inv], s)
+        assert np.array_equal(ut[inv], t)
+
+    def test_no_duplicates_identity_coverage(self):
+        from repro.core.batch import coalesce_pairs
+
+        s = np.array([0, 1, 2])
+        t = np.array([2, 1, 0])
+        us, ut, inv = coalesce_pairs(s, t, 3)
+        assert len(us) == 3
+        assert np.array_equal(us[inv], s) and np.array_equal(ut[inv], t)
+
+    def test_case_grouping_orders_by_code(self):
+        from repro.core.batch import coalesce_pairs, case_codes
+
+        rng = np.random.default_rng(7)
+        n = 50
+        s = rng.integers(0, n, 300)
+        t = rng.integers(0, n, 300)
+        flags = np.zeros(n, dtype=bool)
+        flags[::3] = True
+        codes = case_codes(flags[s], flags[t])
+        us, ut, inv = coalesce_pairs(s, t, n, codes=codes)
+        assert np.array_equal(us[inv], s) and np.array_equal(ut[inv], t)
+        ucodes = case_codes(flags[us], flags[ut])
+        assert np.all(np.diff(ucodes) >= 0)  # grouped: codes non-decreasing
+
+    def test_empty(self):
+        from repro.core.batch import coalesce_pairs
+
+        empty = np.empty(0, dtype=np.int64)
+        us, ut, inv = coalesce_pairs(empty, empty, 5, codes=empty)
+        assert len(us) == 0 and len(ut) == 0 and len(inv) == 0

@@ -182,3 +182,46 @@ class TestBatchContract:
         perm = rng.permutation(len(pairs))
         out = idx.query_batch(pairs)
         assert np.array_equal(idx.query_batch(pairs[perm]), out[perm])
+
+
+class TestDeduplicatedDispatch:
+    """The in-batch dedup/case-grouping micro-opt stays bit-identical."""
+
+    def test_duplicate_heavy_batch_all_engines(self):
+        g = gnp_digraph(40, 0.1, seed=41)
+        rng = np.random.default_rng(41)
+        base = rng.integers(0, g.n, size=(40, 2), dtype=np.int64)
+        dup = base[rng.integers(0, len(base), size=2500)]
+        for k in (2, 6, None):
+            idx = KReachIndex(g, k)
+            expected = idx.query_batch(dup, engine="scalar")
+            for engine in ("auto", "bitset", "chunked"):
+                assert np.array_equal(
+                    idx.query_batch(dup, engine=engine), expected
+                ), (k, engine)
+
+    def test_duplicate_heavy_hkreach(self):
+        g = gnp_digraph(40, 0.1, seed=42)
+        rng = np.random.default_rng(42)
+        base = rng.integers(0, g.n, size=(30, 2), dtype=np.int64)
+        dup = base[rng.integers(0, len(base), size=1500)]
+        idx = HKReachIndex(g, 2, 6)
+        expected = idx.query_batch(dup, engine="scalar")
+        assert np.array_equal(idx.query_batch(dup, engine="bitset"), expected)
+        assert np.array_equal(idx.query_batch(dup, engine="auto"), expected)
+
+    def test_dedup_runs_kernel_once_per_distinct_pair(self, monkeypatch):
+        g = gnp_digraph(40, 0.1, seed=43)
+        idx = KReachIndex(g, 6)
+        dup = np.tile(np.array([[1, 2], [3, 4]], dtype=np.int64), (500, 1))
+        seen = {}
+        original = KReachIndex._query_batch_arrays
+
+        def spy(self, s, t, engine):
+            seen["m"] = len(s)
+            return original(self, s, t, engine)
+
+        monkeypatch.setattr(KReachIndex, "_query_batch_arrays", spy)
+        out = idx.query_batch(dup)
+        assert seen["m"] == 2  # kernels saw only the distinct pairs
+        assert len(out) == len(dup)

@@ -20,6 +20,7 @@ import repro.core.hkreach
 import repro.core.index_graph
 import repro.core.kreach
 import repro.core.rowstore
+import repro.core.serve
 import repro.graph.builder
 import repro.graph.digraph
 
@@ -34,6 +35,7 @@ MODULES = [
     repro.core.batch,
     repro.core.hkreach,
     repro.core.rowstore,
+    repro.core.serve,
     repro.baselines.transitive_closure,
     repro.baselines.pwah,
     repro.baselines.pll,
