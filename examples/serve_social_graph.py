@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Serving tier end to end: save_mmap → QueryServer → shutdown.
+"""Serving tier end to end: save_mmap → QueryServer / ThreadQueryServer.
 
 The §1 story at serving scale: a social graph where a few celebrity
 accounts dominate the query stream.  The index is built once, written as
@@ -18,7 +18,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import KReachIndex, QueryServer, load_mmap, save_kreach, save_mmap
+from repro import native
+from repro.core import (
+    KReachIndex,
+    QueryServer,
+    ThreadQueryServer,
+    load_mmap,
+    save_kreach,
+    save_mmap,
+)
 from repro.core.serialize import load_kreach
 from repro.graph.generators import celebrity_crossfire_digraph
 from repro.workloads import random_pairs
@@ -89,6 +97,26 @@ def main() -> None:
                   f"({len(shards)} tickets, input order preserved ✓)")
             print(f"  server stats:   {server.stats()}")
         print("  pool shut down cleanly ✓")
+
+        # --------------------------------------------------------------
+        # 4. Thread pool: the zero-IPC sibling.  One address space, no
+        #    pickling, no shared-memory slots — with compiled nogil
+        #    kernels (pip install kreach-repro[native]) the workers run
+        #    truly in parallel; on the numpy tier it is a low-overhead
+        #    single-core server.
+        # --------------------------------------------------------------
+        print(f"  {native.describe_line()}")
+        with ThreadQueryServer(v4_path, workers=args.workers) as tserver:
+            tserver.query_batch(pairs[:1024])  # warm the pool (JIT compile)
+            t0 = time.perf_counter()
+            threaded = tserver.query_batch(pairs)
+            thread_s = time.perf_counter() - t0
+            assert np.array_equal(threaded, inproc)
+            print(f"  {args.workers}-thread pool:  {thread_s*1e3:8.2f} ms "
+                  f"(answers identical ✓, "
+                  f"{tserver.kernel_threads} kernel threads/worker)")
+            print(f"  thread stats:   {tserver.stats()}")
+        print("  thread pool shut down cleanly ✓")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ __all__ = [
     "QueryTiming",
     "timed",
     "build_index",
+    "median_of",
     "time_queries",
     "time_batch_queries",
 ]
@@ -81,8 +82,23 @@ def build_index(name: str, factory: Callable[[], object]) -> BuildOutcome:
     return BuildOutcome(name, seconds, storage, index)
 
 
+def median_of(repeat: int, run: Callable[[], "QueryTiming"]) -> QueryTiming:
+    """Run a timing closure ``repeat`` times; keep the median-``seconds`` run.
+
+    ``--repeat N`` support for the bench tables: BENCH_*.json
+    trajectories are compared across PRs, and a single run's number can
+    swing with scheduler noise.  The median run's ``QueryTiming`` is
+    returned whole (count/positives ride along); ``repeat <= 1`` runs
+    once, preserving the default cost.
+    """
+    if repeat <= 1:
+        return run()
+    timings = sorted((run() for _ in range(repeat)), key=lambda t: t.seconds)
+    return timings[(len(timings) - 1) // 2]
+
+
 def time_queries(
-    query: Callable[[int, int], bool], pairs: np.ndarray
+    query: Callable[[int, int], bool], pairs: np.ndarray, *, repeat: int = 1
 ) -> QueryTiming:
     """Time a batch of boolean point queries.
 
@@ -99,30 +115,43 @@ def time_queries(
     plain = [(int(s), int(t)) for s, t in pairs]
     for s, t in plain[:32]:
         query(s, t)
-    positives = 0
-    start = time.perf_counter()
-    for s, t in plain:
-        if query(s, t):
-            positives += 1
-    seconds = time.perf_counter() - start
-    return QueryTiming(seconds=seconds, count=len(plain), positives=positives)
+
+    def run() -> QueryTiming:
+        positives = 0
+        start = time.perf_counter()
+        for s, t in plain:
+            if query(s, t):
+                positives += 1
+        seconds = time.perf_counter() - start
+        return QueryTiming(seconds=seconds, count=len(plain), positives=positives)
+
+    return median_of(repeat, run)
 
 
 def time_batch_queries(
-    query_batch: Callable[[np.ndarray], np.ndarray], pairs: np.ndarray
+    query_batch: Callable[[np.ndarray], np.ndarray],
+    pairs: np.ndarray,
+    *,
+    repeat: int = 1,
 ) -> QueryTiming:
     """Time one bulk call of a batch query engine.
 
     The counterpart of :func:`time_queries` for the vectorized path:
     ``query_batch`` takes the whole ``(m, 2)`` pair array and returns an
     ``(m,)`` bool array.  Array preparation happens outside the clock,
-    mirroring the scalar harness's pre-conversion of pairs.
+    mirroring the scalar harness's pre-conversion of pairs.  ``repeat``
+    reports the median-of-N call (see :func:`median_of`).
     """
     arr = np.ascontiguousarray(np.asarray(pairs, dtype=np.int64))
-    start = time.perf_counter()
-    answers = query_batch(arr)
-    seconds = time.perf_counter() - start
-    answers = np.asarray(answers)
-    return QueryTiming(
-        seconds=seconds, count=len(arr), positives=int(np.count_nonzero(answers))
-    )
+
+    def run() -> QueryTiming:
+        start = time.perf_counter()
+        answers = np.asarray(query_batch(arr))
+        seconds = time.perf_counter() - start
+        return QueryTiming(
+            seconds=seconds,
+            count=len(arr),
+            positives=int(np.count_nonzero(answers)),
+        )
+
+    return median_of(repeat, run)

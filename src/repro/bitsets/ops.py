@@ -19,11 +19,20 @@ All kernels are allocation-bounded: the fan-out helpers chunk their
 temporaries to at most ``max_words`` uint64 words, so a celebrity vertex
 with a graph-sized neighbor list cannot blow up transient memory the way
 the materialized cross products could.
+
+Each kernel exists in two tiers (see :mod:`repro.native`): the vectorized
+numpy implementation below — always available, the differential baseline —
+and a loop-level body in :mod:`repro.native_kernels` that numba compiles
+to a GIL-releasing machine loop with no temporaries at all.  The public
+functions dispatch per call; semantics are byte-identical across tiers.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro import native
+from repro import native_kernels as _nk
 
 __all__ = [
     "DEFAULT_MATRIX_BYTES",
@@ -69,9 +78,10 @@ def bit_matrix(
     """A ``(num_rows, words)`` uint64 matrix with bit ``cols[i]`` set in
     row ``rows[i]``.
 
-    Duplicate ``(row, col)`` entries are OR-merged.  Sorted ``(row, col)``
-    input (the natural order of CSR-derived streams) takes a pure
-    reduceat path; unsorted input pays one argsort.
+    Duplicate ``(row, col)`` entries are OR-merged.  On the numpy tier,
+    sorted ``(row, col)`` input (the natural order of CSR-derived
+    streams) takes a pure reduceat path and unsorted input pays one
+    argsort; the native tier scatters bits directly and never sorts.
     """
     words = words_for(nbits)
     out = np.zeros((num_rows, words), dtype=np.uint64)
@@ -79,6 +89,9 @@ def bit_matrix(
         return out
     rows = np.asarray(rows, dtype=np.int64)
     cols = np.asarray(cols, dtype=np.int64)
+    fn, tier = native.resolve("set_bits")
+    if tier != "numpy":
+        return fn(out, rows, cols)
     keys = rows * words + (cols >> 6)
     values = np.uint64(1) << (cols & 63).astype(np.uint64)
     if len(keys) > 1 and np.any(keys[:-1] > keys[1:]):
@@ -89,6 +102,16 @@ def bit_matrix(
     flat = out.reshape(-1)
     flat[keys[bounds]] = np.bitwise_or.reduceat(values, bounds)
     return out
+
+
+def _set_bits_numpy(matrix: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Numpy twin of :func:`repro.native_kernels.set_bits_into`."""
+    np.bitwise_or.at(
+        matrix,
+        (rows, cols >> 6),
+        np.uint64(1) << (cols & 63).astype(np.uint64),
+    )
+    return matrix
 
 
 def set_bits(matrix: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
@@ -103,12 +126,21 @@ def set_bits(matrix: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarr
         return matrix
     rows = np.asarray(rows, dtype=np.int64)
     cols = np.asarray(cols, dtype=np.int64)
-    np.bitwise_or.at(
-        matrix,
-        (rows, cols >> 6),
-        np.uint64(1) << (cols & 63).astype(np.uint64),
-    )
-    return matrix
+    return native.kernel("set_bits")(matrix, rows, cols)
+
+
+def _or_rows_into_numpy(
+    matrix: np.ndarray, rows: np.ndarray, owner: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Numpy twin of :func:`repro.native_kernels.or_rows_into`.
+
+    Unbuffered accumulate handles duplicate owners regardless of order;
+    this is the unchunked reference the compile-time smoke check runs —
+    the chunked ``max_words`` production path lives in
+    :func:`or_rows_segmented` itself.
+    """
+    np.bitwise_or.at(out, owner, matrix[rows])
+    return out
 
 
 def or_rows_segmented(
@@ -125,14 +157,24 @@ def or_rows_segmented(
     This is the fan-out half of a bitset join — e.g. "OR together the
     index rows of every out-neighbor of ``s``".  ``owner`` must be sorted
     ascending (the order :func:`~repro.core.batch.gather_segments`
-    produces); the row gather is chunked so the transient ``(chunk,
-    words)`` block never exceeds ``max_words`` words.
+    produces); on the numpy tier the row gather is chunked so the
+    transient ``(chunk, words)`` block never exceeds ``max_words`` words.
+    The native tier runs one pass over the stream with no temporaries,
+    so ``max_words`` does not apply there.
     """
     words = matrix.shape[1] if matrix.ndim == 2 else 0
     if out is None:
         out = np.zeros((num_segments, words), dtype=np.uint64)
     if len(rows) == 0 or words == 0:
         return out
+    fn, tier = native.resolve("or_rows")
+    if tier != "numpy":
+        return fn(
+            matrix,
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(owner, dtype=np.int64),
+            out,
+        )
     step = max(1, max_words // max(1, words))
     for start in range(0, len(rows), step):
         sel_rows = rows[start : start + step]
@@ -146,11 +188,24 @@ def or_rows_segmented(
     return out
 
 
-def and_any(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Row-wise non-empty-intersection test: ``any(a[i] & b[i])``."""
+def _and_any_numpy(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Numpy twin of :func:`repro.native_kernels.and_any`."""
     if a.shape[0] == 0 or a.shape[1] == 0:
         return np.zeros(a.shape[0], dtype=bool)
     return np.any(a & b, axis=1)
+
+
+def and_any(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise non-empty-intersection test: ``any(a[i] & b[i])``."""
+    return native.kernel("and_any")(a, b)
+
+
+def _probe_bits_numpy(
+    matrix: np.ndarray, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Numpy twin of :func:`repro.native_kernels.probe_bits`."""
+    word = matrix[rows, cols >> 6]
+    return ((word >> (cols & 63).astype(np.uint64)) & np.uint64(1)).astype(bool)
 
 
 def probe_bits(matrix: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
@@ -158,6 +213,76 @@ def probe_bits(matrix: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.nda
     ``matrix[rows[i]]``?  One word gather + shift per element."""
     if len(rows) == 0:
         return np.zeros(0, dtype=bool)
+    rows = np.asarray(rows, dtype=np.int64)
     cols = np.asarray(cols, dtype=np.int64)
-    word = matrix[rows, cols >> 6]
-    return ((word >> (cols & 63).astype(np.uint64)) & np.uint64(1)).astype(bool)
+    return native.kernel("probe_bits")(matrix, rows, cols)
+
+
+# ----------------------------------------------------------------------
+# Native-tier registration.  Samples cover multi-word rows, duplicate
+# scatter targets, and cross-word bit positions; each call returns fresh
+# arrays because the in-place kernels mutate their inputs.
+# ----------------------------------------------------------------------
+
+def _sample_matrix() -> np.ndarray:
+    m = np.zeros((4, 2), dtype=np.uint64)
+    m[0, 0] = np.uint64(0b1011)
+    m[1, 1] = np.uint64(1) << np.uint64(5)
+    m[2, 0] = np.uint64(1) << np.uint64(63)
+    m[3, 1] = np.uint64(0xF0)
+    return m
+
+
+def _and_any_sample():
+    a = _sample_matrix()
+    b = np.zeros_like(a)
+    b[0, 0] = np.uint64(0b0010)   # hit in word 0
+    b[1, 1] = np.uint64(1) << np.uint64(5)   # hit in word 1
+    b[2, 0] = np.uint64(1)        # miss
+    return a, b
+
+
+def _set_bits_sample():
+    rows = np.array([0, 2, 2, 0, 3], dtype=np.int64)
+    cols = np.array([1, 64, 65, 1, 127], dtype=np.int64)  # dups + both words
+    return np.zeros((4, 2), dtype=np.uint64), rows, cols
+
+
+def _or_rows_sample():
+    rows = np.array([0, 2, 3, 1], dtype=np.int64)
+    owner = np.array([0, 0, 1, 2], dtype=np.int64)  # duplicate owner 0
+    return _sample_matrix(), rows, owner, np.zeros((3, 2), dtype=np.uint64)
+
+
+def _probe_bits_sample():
+    rows = np.array([0, 0, 1, 2, 3], dtype=np.int64)
+    cols = np.array([0, 2, 69, 63, 127], dtype=np.int64)
+    return _sample_matrix(), rows, cols
+
+
+native.register(
+    "and_any",
+    numpy_impl=_and_any_numpy,
+    python_impl=_nk.and_any,
+    parallel=True,
+    sample=_and_any_sample,
+)
+native.register(
+    "set_bits",
+    numpy_impl=_set_bits_numpy,
+    python_impl=_nk.set_bits_into,
+    sample=_set_bits_sample,
+)
+native.register(
+    "or_rows",
+    numpy_impl=_or_rows_into_numpy,
+    python_impl=_nk.or_rows_into,
+    sample=_or_rows_sample,
+)
+native.register(
+    "probe_bits",
+    numpy_impl=_probe_bits_numpy,
+    python_impl=_nk.probe_bits,
+    parallel=True,
+    sample=_probe_bits_sample,
+)

@@ -25,7 +25,13 @@ MS-BFS construction path against the per-source serial build.
 :func:`~repro.core.serialize.load_mmap` open time against the v2 eager
 load, and batch throughput through 1/2/4/8-worker
 :class:`~repro.core.serve.QueryServer` pools sharing one index file
-(CI gates v4 < v2 open and 2-worker ≥ 1-worker throughput).
+(CI gates v4 < v2 open and 2-worker ≥ 1-worker throughput).  ``native``
+benchmarks the compiled kernel tier (:mod:`repro.native`) against the
+numpy baseline per dispatched kernel and times
+:class:`~repro.core.serve.ThreadQueryServer` against the in-process
+engine; every invocation prints the active tier line and ``--json``
+provenance records ``native.describe()`` so BENCH artifacts say which
+tier produced them.  ``--repeat N`` reports median-of-N timings.
 
 Every experiment accepts ``--scale`` (1.0 = paper-sized graphs),
 ``--queries``, ``--datasets`` (comma-separated subset), ``--seed``, and
@@ -110,15 +116,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["auto", "bitset", "chunked", "scalar"],
+        choices=["auto", "native", "bitset", "chunked", "scalar"],
         default="auto",
         help=(
             "query engine for the k-reach batch columns (Tables 5/6/7): "
             "'auto' picks the bitset join when its cover-local link matrix "
             "fits the memory gate and falls back to the chunked cross "
-            "products otherwise; 'bitset'/'chunked' force one path; "
-            "'scalar' loops per pair (the differential reference).  The "
-            "'throughput' experiment always compares all engines"
+            "products otherwise; 'native' is the same split preferring the "
+            "compiled kernel tier (numpy fallback when numba is absent); "
+            "'bitset'/'chunked' force one path; 'scalar' loops per pair "
+            "(the differential reference).  The 'throughput' experiment "
+            "always compares all engines"
+        ),
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "repeat each timing N times and report the median run "
+            "(default 1); smooths scheduler noise in BENCH_*.json "
+            "trajectories"
         ),
     )
     parser.add_argument(
@@ -181,9 +200,12 @@ def _run_metadata() -> dict:
             sha = (proc.stdout.strip() or None) if proc.returncode == 0 else None
     except (OSError, subprocess.SubprocessError):
         sha = None
+    from repro import native
+
     return {
         "git_sha": sha,
         "numpy_version": np.__version__,
+        "native": native.describe(),
         "python_version": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
@@ -228,7 +250,11 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         engine=args.engine,
         serve_workers=serve_workers,
+        repeat=max(1, args.repeat),
     )
+    from repro import native
+
+    print(native.describe_line())
     names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     records: list[dict] = []
     for name in names:
@@ -258,6 +284,7 @@ def main(argv: list[str] | None = None) -> int:
                 "workers": args.workers,
                 "engine": args.engine,
                 "serve_workers": list(serve_workers),
+                "repeat": max(1, args.repeat),
             },
             "experiments": records,
         }

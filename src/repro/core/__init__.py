@@ -25,7 +25,7 @@ from repro.core.serialize import (
     save_kreach,
     save_mmap,
 )
-from repro.core.serve import QueryServer
+from repro.core.serve import QueryServer, ThreadQueryServer
 from repro.core.vertex_cover import (
     COVER_STRATEGIES,
     cover_from_strategy,
@@ -54,6 +54,7 @@ __all__ = [
     "save_mmap",
     "load_mmap",
     "QueryServer",
+    "ThreadQueryServer",
     "CoverDistanceOracle",
     "GeometricKReachFamily",
     "ExactKFamily",

@@ -40,6 +40,8 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro import native
+from repro import native_kernels as _nk
 from repro.bitsets.ops import and_any, bit_matrix, or_rows_segmented
 
 __all__ = [
@@ -199,11 +201,14 @@ class KeyedRowStore:
         keys = self._keys
         if len(keys) == 0:
             return np.full(len(u), MISSING_WEIGHT, dtype=np.int64)
-        probe = u * self._n + v
-        pos = np.searchsorted(keys, probe)
-        pos_c = np.minimum(pos, len(keys) - 1)
-        found = keys[pos_c] == probe
-        return np.where(found, self._weights[pos_c], MISSING_WEIGHT)
+        return native.kernel("keyed_lookup")(
+            keys,
+            self._weights,
+            np.asarray(u, dtype=np.int64),
+            np.asarray(v, dtype=np.int64),
+            np.int64(self._n),
+            MISSING_WEIGHT,
+        )
 
 
 def gather_segments(
@@ -345,6 +350,15 @@ def case4_bitset_join(
         matrix, pos[keep], owner[keep], len(uniq_s), max_words=max_words
     )
 
+    fn, tier = native.resolve("gather_and_any")
+    if tier != "numpy":
+        return fn(
+            ubits,
+            tbits,
+            s_inv.astype(np.int64, copy=False),
+            t_inv.astype(np.int64, copy=False),
+        )
+    # numpy tier: chunk the gathered (pairs, words) temporaries to max_words.
     step = max(1, max_words // max(1, words))
     for start in range(0, len(s), step):
         stop = start + step
@@ -415,3 +429,57 @@ def _cross_block(
         np.repeat(in_starts, cross) + within % np.repeat(ic, cross)
     ].astype(np.int64)
     return u, v, owner
+
+
+# ----------------------------------------------------------------------
+# Native-tier registration (see repro.native).
+# ----------------------------------------------------------------------
+
+def _gather_and_any_numpy(
+    ubits: np.ndarray, tbits: np.ndarray, s_idx: np.ndarray, t_idx: np.ndarray
+) -> np.ndarray:
+    """Numpy twin of :func:`repro.native_kernels.gather_and_any`."""
+    if len(s_idx) == 0 or ubits.shape[1] == 0:
+        return np.zeros(len(s_idx), dtype=bool)
+    return np.any(ubits[s_idx] & tbits[t_idx], axis=1)
+
+
+def _keyed_lookup_numpy(keys, weights, u, v, n, missing):
+    """Numpy twin of :func:`repro.native_kernels.keyed_lookup`."""
+    probe = u * n + v
+    pos = np.searchsorted(keys, probe)
+    pos_c = np.minimum(pos, len(keys) - 1)
+    found = keys[pos_c] == probe
+    return np.where(found, weights[pos_c], missing)
+
+
+def _gather_and_any_sample():
+    ubits = np.array([[0b0110, 0], [0, 1 << 9]], dtype=np.uint64)
+    tbits = np.array([[0b0100, 0], [0b0001, 0], [0, 1 << 9]], dtype=np.uint64)
+    s_idx = np.array([0, 0, 1, 1], dtype=np.int64)
+    t_idx = np.array([0, 1, 1, 2], dtype=np.int64)  # hit, miss, miss, hit
+    return ubits, tbits, s_idx, t_idx
+
+
+def _keyed_lookup_sample():
+    keys = np.array([2, 7, 11, 30], dtype=np.int64)  # u*n+v with n=6
+    weights = np.array([1, 3, 2, 5], dtype=np.int64)
+    u = np.array([0, 1, 1, 5, 3], dtype=np.int64)
+    v = np.array([2, 1, 5, 0, 3], dtype=np.int64)  # hit, hit, hit, hit, miss
+    return keys, weights, u, v, np.int64(6), MISSING_WEIGHT
+
+
+native.register(
+    "gather_and_any",
+    numpy_impl=_gather_and_any_numpy,
+    python_impl=_nk.gather_and_any,
+    parallel=True,
+    sample=_gather_and_any_sample,
+)
+native.register(
+    "keyed_lookup",
+    numpy_impl=_keyed_lookup_numpy,
+    python_impl=_nk.keyed_lookup,
+    parallel=True,
+    sample=_keyed_lookup_sample,
+)

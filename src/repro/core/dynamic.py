@@ -75,6 +75,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import native
 from repro.bitsets.ops import (
     DEFAULT_MATRIX_BYTES,
     matrix_bytes,
@@ -103,7 +104,7 @@ __all__ = ["DynamicKReachIndex", "OP_INSERT", "OP_DELETE"]
 OP_INSERT = 0
 OP_DELETE = 1
 
-_ENGINES = ("auto", "bitset", "scalar")
+_ENGINES = ("auto", "native", "bitset", "scalar")
 
 #: Affected-row count at which a deletion repairs through one blocked
 #: bit-parallel MS-BFS over the current graph instead of per-row scalar
@@ -1099,12 +1100,18 @@ class DynamicKReachIndex:
           the bitset join against the patched link matrix when it fits
           :attr:`bitset_matrix_bytes`, else falls back to the scalar
           walk for those pairs.
+        * ``'native'`` — ``'auto'`` with the kernels preferring the
+          compiled tier for this batch (:func:`repro.native.use`);
+          identical answers, numpy fallback when numba is absent.
         * ``'bitset'`` — force the patched-matrix join past the gate.
         * ``'scalar'`` — a plain per-pair :meth:`query` loop (the
           differential reference, and the pre-overlay behavior).
         """
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        if engine == "native":
+            with native.use("auto"):
+                return self.query_batch(pairs, engine="auto")
         self._flush_repairs()
         s, t = as_pair_arrays(pairs, self.n)
         m = len(s)

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import native
 from repro.bitsets.ops import (
     DEFAULT_MATRIX_BYTES,
     and_any,
@@ -93,7 +94,7 @@ _LEVEL_MEMO_CAP = 65_536
 # batch size.
 _BITSET_SLICE = 1 << 16
 
-_ENGINES = ("auto", "bitset", "scalar")
+_ENGINES = ("auto", "native", "bitset", "scalar")
 
 
 class HKReachIndex:
@@ -501,6 +502,11 @@ class HKReachIndex:
         """
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        if engine == "native":
+            # Prefer the compiled kernel tier for this batch; identical
+            # answers, numpy fallback when numba is absent.
+            with native.use("auto"):
+                return self.query_batch(pairs, engine="auto")
         s, t = as_pair_arrays(pairs, self.graph.n)
         m = len(s)
         if m == 0:

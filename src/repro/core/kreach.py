@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import native
 from repro.bitsets.ops import DEFAULT_MATRIX_BYTES
 from repro.bitsets.packed import PackedIntArray
 from repro.core.batch import (
@@ -75,7 +76,7 @@ from repro.graph.scc import condensation
 __all__ = ["KReachIndex"]
 
 _BUILDERS = ("blocked", "serial")
-_ENGINES = ("auto", "bitset", "chunked", "scalar")
+_ENGINES = ("auto", "native", "bitset", "chunked", "scalar")
 
 
 class KReachIndex:
@@ -588,6 +589,10 @@ class KReachIndex:
         * ``'auto'`` (default) — the bitset join when the cover-local
           link matrix fits :attr:`bitset_matrix_bytes`, else the chunked
           engine.
+        * ``'native'`` — same case split as ``'auto'``, but the kernels
+          prefer the compiled tier for this batch
+          (:func:`repro.native.use`); identical answers, and a plain
+          ``'auto'`` run when numba is absent.
         * ``'bitset'`` — force the bitset join: per-pair verdicts become
           word-wise AND-any tests against per-endpoint cover bitsets; no
           cross product is materialized and no pair ever takes the
@@ -607,6 +612,9 @@ class KReachIndex:
         """
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        if engine == "native":
+            with native.use("auto"):
+                return self.query_batch(pairs, engine="auto")
         g = self.graph
         s, t = as_pair_arrays(pairs, g.n)
         m = len(s)

@@ -36,25 +36,53 @@ that scales batch-query throughput with cores:
   shards are re-dispatched; results from a dead generation are dropped
   by a generation tag, so answers stay exact across restarts.
 
+:class:`ThreadQueryServer` is the single-address-space sibling for the
+native kernel tier (:mod:`repro.native`): compiled ``nogil`` kernels
+release the GIL for the whole loop, so a *thread* pool scales with cores
+too — and threads share the one mmap'd index object directly, so there
+are no shared-memory slots, no pickling, and no per-batch scatter copies
+at all.  Workers pull case-grouped sub-batches off a queue and write
+verdicts straight into the ticket's output array (shards own disjoint
+position sets, so concurrent writes never overlap).  On the pure-numpy
+tier the GIL serializes most of the work and the process pool remains
+the scaling deployment; the thread server is still a valid (lower
+overhead, shared everything) single-core server there.
+
+**Thread-budget policy** (the oversubscription fix): a pool of W workers
+whose kernels each spawn their own threads would run W × cpu_count
+threads.  Both servers therefore pin the per-worker kernel-thread count
+to ``max(1, cpu_count // W)`` (:func:`repro.native.thread_budget`) by
+setting ``NUMBA_NUM_THREADS`` / ``OMP_NUM_THREADS`` **before** the first
+kernel runs — numba reads the variable at first import and
+``set_num_threads`` can only lower it afterwards.  Process workers pin
+in the child before the index loads; the thread server pins once in its
+constructor (one address space — the budget is shared by all its
+workers).
+
 Differential guarantee: ``server.query_batch(pairs)`` is bit-identical
 to the in-process ``load_mmap(path).query_batch(pairs)`` for every
-engine and worker count (pinned by ``tests/core/test_serve.py``).
+engine and worker count, for both servers (pinned by
+``tests/core/test_serve.py`` / ``tests/core/test_thread_serve.py``).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import queue
+import threading
+import traceback
 from collections import deque
 from multiprocessing import connection as mp_connection
 from multiprocessing import sharedctypes
 
 import numpy as np
 
+from repro import native
 from repro.core.batch import as_pair_arrays, case_codes
 from repro.core.kreach import _ENGINES
 
-__all__ = ["QueryServer"]
+__all__ = ["QueryServer", "ThreadQueryServer"]
 
 #: Default pairs per shared-memory slot (the dispatch granularity).
 DEFAULT_SLOT_PAIRS = 1 << 15
@@ -89,6 +117,7 @@ def _worker_main(
     result_w,
     engine,
     prepare,
+    kernel_threads,
 ):
     """Worker loop: open the shared file, then serve slots until ``None``.
 
@@ -103,7 +132,11 @@ def _worker_main(
     message carries ``(worker_id, generation)`` so the parent can discard
     echoes from a generation it has already restarted.
     """
-    import traceback
+    # Pin this worker's kernel-thread budget before anything imports
+    # numba (see the module docstring's thread-budget policy) — with W
+    # pool processes each running parallel kernels, the pins keep the
+    # host at ~cpu_count threads total instead of W x cpu_count.
+    native.pin_kernel_threads(kernel_threads)
 
     from repro.core.serialize import load_mmap
 
@@ -141,6 +174,31 @@ def _worker_main(
                 "task_error",
                 (slot, traceback.format_exc()[-_MAX_ERROR_CHARS:]),
             )
+
+
+def _case_shards(codes: np.ndarray, count: int) -> list[np.ndarray]:
+    """Per-worker position arrays, case-balanced.
+
+    For each Algorithm-2 case, its pairs are split contiguously across
+    the pool — every worker gets ~1/W of each case, so the load stays
+    balanced even though Case 4 costs orders of magnitude more than
+    Case 1.  (The case-by-case ordering of each share is a free
+    by-product, not something workers rely on.)
+    """
+    if count == 1:
+        return [np.arange(len(codes), dtype=np.int64)]
+    shares: list[list[np.ndarray]] = [[] for _ in range(count)]
+    for case in (1, 2, 3, 4):
+        positions = np.flatnonzero(codes == case)
+        if not len(positions):
+            continue
+        for i, part in enumerate(np.array_split(positions, count)):
+            if len(part):
+                shares[i].append(part)
+    return [
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        for parts in shares
+    ]
 
 
 class _Ticket:
@@ -335,6 +393,7 @@ class QueryServer:
                 result_w,
                 self._engine,
                 self._prepare,
+                native.thread_budget(len(self._workers)),
             ),
             daemon=True,
         )
@@ -472,31 +531,8 @@ class QueryServer:
     # Dispatch plumbing
     # ------------------------------------------------------------------
     def _shard(self, codes: np.ndarray) -> list[np.ndarray]:
-        """Per-worker position arrays, case-balanced.
-
-        For each Algorithm-2 case, its pairs are split contiguously
-        across the pool — every worker gets ~1/W of each case, so the
-        load stays balanced even though Case 4 costs orders of magnitude
-        more than Case 1.  (The case-by-case ordering of each share is a
-        free by-product, not something workers rely on.)
-        """
-        count = len(self._workers)
-        if count == 1:
-            return [np.arange(len(codes), dtype=np.int64)]
-        shares: list[list[np.ndarray]] = [[] for _ in range(count)]
-        for case in (1, 2, 3, 4):
-            positions = np.flatnonzero(codes == case)
-            if not len(positions):
-                continue
-            for i, part in enumerate(np.array_split(positions, count)):
-                if len(part):
-                    shares[i].append(part)
-        return [
-            np.concatenate(parts)
-            if parts
-            else np.empty(0, dtype=np.int64)
-            for parts in shares
-        ]
+        """Per-worker position arrays, case-balanced (see :func:`_case_shards`)."""
+        return _case_shards(codes, len(self._workers))
 
     def _dispatch(self, w: _Worker) -> None:
         """Move backlog shards into free slots and notify the worker.
@@ -727,4 +763,275 @@ class QueryServer:
         return (
             f"QueryServer(path={self._path!r}, workers={len(self._workers)}, "
             f"{state})"
+        )
+
+
+class ThreadQueryServer:
+    """A thread-pool batch-query server sharing one mmap'd v4 index.
+
+    The zero-IPC sibling of :class:`QueryServer`, built for the native
+    kernel tier: every worker thread calls ``query_batch`` on the *same*
+    index object in this address space, so there are no shared-memory
+    slots, no pickling, and no result scatter — workers pull
+    case-grouped sub-batches from a queue and write verdicts directly
+    into the ticket's preallocated output array (shards hold disjoint
+    positions, so the concurrent writes never overlap).  With compiled
+    ``nogil`` kernels the GIL is released for the whole kernel loop and
+    throughput scales with cores; on the pure-numpy tier the GIL
+    serializes most of the work, making this a low-overhead single-core
+    server (use :class:`QueryServer` to scale there).
+
+    The constructor pins the kernel-thread budget for the whole process
+    to ``max(1, cpu_count // workers)`` — see the module docstring's
+    thread-budget policy.
+
+    Same ``submit`` / ``collect`` / ``query_batch`` / ``stats`` /
+    context-manager API as :class:`QueryServer`, so benchmarks and
+    examples can swap the two; verdicts are bit-identical to the
+    in-process index for every engine and worker count.
+
+    Parameters
+    ----------
+    path:
+        A file written by :func:`~repro.core.serialize.save_mmap`.
+    workers:
+        Thread-pool size.
+    engine:
+        Default engine for :meth:`~repro.core.kreach.KReachIndex.query_batch`;
+        individual calls may override it.
+    shard_pairs:
+        Maximum pairs per queued sub-batch.  Batches larger than one
+        shard per worker split further so :meth:`submit` pipelines.
+    prepare:
+        Build the lazy batch caches up front (in the constructor) so
+        worker threads never race a lazy build; ``False`` defers the
+        build to a lock-guarded first use.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro.core import KReachIndex, save_mmap
+    >>> from repro.graph.generators import gnp_digraph
+    >>> g = gnp_digraph(60, 0.08, seed=1)
+    >>> fd, path = tempfile.mkstemp(suffix=".kr4"); os.close(fd)
+    >>> save_mmap(KReachIndex(g, 3), path)
+    >>> with ThreadQueryServer(path, workers=2) as server:
+    ...     verdicts = server.query_batch([(0, 5), (5, 0), (3, 3)])
+    >>> verdicts.dtype.name, len(verdicts)
+    ('bool', 3)
+    >>> os.unlink(path)
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        workers: int = 2,
+        engine: str = "auto",
+        shard_pairs: int = DEFAULT_SLOT_PAIRS,
+        prepare: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_pairs < 1:
+            raise ValueError(f"shard_pairs must be >= 1, got {shard_pairs}")
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        from repro.core.serialize import load_mmap
+
+        self._path = os.fspath(path)
+        self._engine = engine
+        self._shard_pairs = int(shard_pairs)
+        # One address space: pin the shared kernel-thread budget before
+        # any kernel (and hence numba's thread pool) starts.
+        self.kernel_threads = native.pin_kernel_threads(
+            native.thread_budget(workers)
+        )
+        self._index = load_mmap(self._path)
+        self._n = self._index.graph.n
+        self._prep_lock = threading.Lock()
+        self._prepared = False
+        if prepare:
+            self._index.prepare_batch()
+            self._prepared = True
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._cond = threading.Condition()
+        self._tickets: dict[int, _Ticket] = {}
+        self._next_ticket = 0
+        self._closed = False
+        self.pairs_served = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"kreach-serve-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for th in self._threads:
+            th.start()
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _ensure_prepared(self) -> None:
+        """Build the lazy batch caches exactly once (``prepare=False``)."""
+        if not self._prepared:
+            with self._prep_lock:
+                if not self._prepared:
+                    self._index.prepare_batch()
+                    self._prepared = True
+
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            ticket, positions, eng = task
+            error = None
+            try:
+                self._ensure_prepared()
+                pairs = np.column_stack(
+                    (ticket.s[positions], ticket.t[positions])
+                )
+                verdicts = self._index.query_batch(
+                    pairs, engine=eng or self._engine
+                )
+                # Disjoint positions per shard: no write overlaps a
+                # sibling thread's, so no lock is needed for the scatter.
+                ticket.out[positions] = verdicts
+            except BaseException:
+                error = traceback.format_exc()[-_MAX_ERROR_CHARS:]
+            with self._cond:
+                if error is not None:
+                    ticket.error = ticket.error or error
+                ticket.remaining -= 1
+                self._cond.notify_all()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ThreadQueryServer is closed")
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def submit(self, pairs, *, engine: str | None = None) -> int:
+        """Enqueue a batch; returns a ticket for :meth:`collect`.
+
+        The batch is validated, pre-split by case code, and queued in
+        shard-sized position chunks; worker threads start on it
+        immediately, so further :meth:`submit` calls pipeline.
+        """
+        self._check_open()
+        if engine is not None and engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        s, t = as_pair_arrays(pairs, self._n)
+        ticket = _Ticket(self._next_ticket, s, t)
+        self._next_ticket += 1
+        self._tickets[ticket.id] = ticket
+        if len(s):
+            self._ensure_prepared()
+            flags = self._index._flags()
+            shares = _case_shards(
+                case_codes(flags[s], flags[t]), len(self._threads)
+            )
+            chunks = [
+                share[start : start + self._shard_pairs]
+                for share in shares
+                for start in range(0, len(share), self._shard_pairs)
+            ]
+            # Count every shard before the first enqueue: a worker that
+            # finishes instantly must not see remaining hit zero early.
+            ticket.remaining = len(chunks)
+            for chunk in chunks:
+                self._tasks.put((ticket, chunk, engine))
+        self.pairs_served += len(s)
+        return ticket.id
+
+    def collect(self, ticket_id: int) -> np.ndarray:
+        """Block until a ticket's shards are done; verdicts in input order.
+
+        If any shard raised in a worker thread, the ticket settles (the
+        pool stays serviceable) and the traceback is re-raised here as
+        :class:`RuntimeError`.
+        """
+        self._check_open()
+        ticket = self._tickets.get(ticket_id)
+        if ticket is None:
+            raise KeyError(f"unknown or already-collected ticket {ticket_id}")
+        with self._cond:
+            while ticket.remaining:
+                self._cond.wait()
+        del self._tickets[ticket_id]
+        if ticket.error is not None:
+            raise RuntimeError(
+                f"query-server batch {ticket_id} failed in a worker:\n"
+                f"{ticket.error}"
+            )
+        return ticket.out
+
+    def query_batch(self, pairs, *, engine: str | None = None) -> np.ndarray:
+        """Synchronous round-trip: ``collect(submit(pairs))``.
+
+        Bit-identical to the in-process
+        :meth:`~repro.core.kreach.KReachIndex.query_batch` on the same
+        file, for every engine and worker count.
+        """
+        return self.collect(self.submit(pairs, engine=engine))
+
+    # ------------------------------------------------------------------
+    # Introspection & shutdown
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Pool size."""
+        return len(self._threads)
+
+    @property
+    def index(self):
+        """The shared mmap'd index every worker thread queries."""
+        return self._index
+
+    def stats(self) -> dict[str, int]:
+        """Counters: pairs served, outstanding tickets, kernel budget."""
+        return {
+            "workers": len(self._threads),
+            "pairs_served": self.pairs_served,
+            "outstanding_tickets": len(self._tickets),
+            "kernel_threads": self.kernel_threads,
+        }
+
+    def close(self) -> None:
+        """Stop every worker thread and drop the index.  Idempotent.
+
+        Queued shards are served before the stop sentinels; outstanding
+        tickets therefore settle, but they can no longer be collected.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._tasks.put(None)
+        for th in self._threads:
+            th.join(timeout=10)
+        self._tickets.clear()
+        self._index = None
+
+    def __enter__(self) -> "ThreadQueryServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"ThreadQueryServer(path={self._path!r}, "
+            f"workers={len(self._threads)}, {state})"
         )

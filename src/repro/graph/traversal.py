@@ -23,6 +23,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import native
+from repro import native_kernels as _nk
 from repro.graph.digraph import DiGraph
 
 __all__ = [
@@ -131,6 +133,53 @@ def _or_group(vertices: np.ndarray, masks: np.ndarray) -> tuple[np.ndarray, np.n
     return sv[bounds], np.bitwise_or.reduceat(sm, bounds)
 
 
+def _expand_frontier_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    front_v: np.ndarray,
+    front_m: np.ndarray,
+    visited: np.ndarray,
+    next_mask: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One level of blocked MS-BFS: gather, sort-merge OR, novelty filter.
+
+    Numpy twin of :func:`repro.native_kernels.expand_frontier`: returns
+    the newly reached ``(nv, nm)`` with ``nv`` ascending and ``visited``
+    untouched (the caller commits after emitting).  ``next_mask`` — the
+    native tier's vertex-indexed scratch — is unused here.
+    """
+    starts = indptr[front_v].astype(np.int64)
+    counts = (indptr[front_v + 1] - indptr[front_v]).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.uint64)
+    offsets = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    positions = (
+        np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+    )
+    nbrs = indices[positions].astype(np.int64)
+    masks = np.repeat(front_m, counts)
+    nv, nm = _or_group(nbrs, masks)
+    nm &= ~visited[nv]
+    fresh = nm != 0
+    return nv[fresh], nm[fresh]
+
+
+def _resolve_expand(n: int):
+    """The active frontier-expansion kernel plus its scratch buffer.
+
+    The native tier scatters into a vertex-indexed uint64 accumulator;
+    that scratch is allocated once per public call (not per level) and
+    the kernel restores it to zeros before returning.  The numpy tier
+    needs none.
+    """
+    fn, tier = native.resolve("expand_frontier")
+    scratch = None if tier == "numpy" else np.zeros(n, dtype=np.uint64)
+    return fn, scratch
+
+
 def bfs_distances_blocked(
     g: DiGraph,
     sources: np.ndarray,
@@ -171,6 +220,7 @@ def bfs_distances_blocked(
     out_src: list[np.ndarray] = []
     out_dst: list[np.ndarray] = []
     out_dist: list[np.ndarray] = []
+    expand, scratch = _resolve_expand(g.n)
     visited = np.zeros(g.n, dtype=np.uint64)
     for start in range(0, len(sources), 64):
         block = sources[start : start + 64]
@@ -182,23 +232,7 @@ def bfs_distances_blocked(
         front_v, front_m = _or_group(block, bit)
         level = 0
         while len(front_v) and (k is None or level < k):
-            starts = indptr[front_v].astype(np.int64)
-            counts = (indptr[front_v + 1] - indptr[front_v]).astype(np.int64)
-            total = int(counts.sum())
-            if total == 0:
-                break
-            offsets = np.zeros(len(counts), dtype=np.int64)
-            np.cumsum(counts[:-1], out=offsets[1:])
-            positions = (
-                np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
-            )
-            nbrs = indices[positions].astype(np.int64)
-            masks = np.repeat(front_m, counts)
-            nv, nm = _or_group(nbrs, masks)
-            nm &= ~visited[nv]
-            fresh = nm != 0
-            nv = nv[fresh]
-            nm = nm[fresh]
+            nv, nm = expand(indptr, indices, front_v, front_m, visited, scratch)
             if not len(nv):
                 break
             visited[nv] |= nm
@@ -292,6 +326,7 @@ def blocked_ball_probe(
     # Probes grouped by source block: one argsort, then per-block slices.
     probe_order = np.argsort(probe_src, kind="stable")
     sorted_src = probe_src[probe_order]
+    expand, scratch = _resolve_expand(g.n)
     visited = np.zeros(g.n, dtype=np.uint64)
 
     for start in range(0, len(sources), 64):
@@ -330,23 +365,7 @@ def blocked_ball_probe(
         while len(front_v) and (block_depth is None or level < block_depth):
             if emit is None and not active.any():
                 break
-            starts = indptr[front_v].astype(np.int64)
-            counts = (indptr[front_v + 1] - indptr[front_v]).astype(np.int64)
-            total = int(counts.sum())
-            if total == 0:
-                break
-            offsets = np.zeros(len(counts), dtype=np.int64)
-            np.cumsum(counts[:-1], out=offsets[1:])
-            positions = (
-                np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
-            )
-            nbrs = indices[positions].astype(np.int64)
-            masks = np.repeat(front_m, counts)
-            nv, nm = _or_group(nbrs, masks)
-            nm &= ~visited[nv]
-            fresh = nm != 0
-            nv = nv[fresh]
-            nm = nm[fresh]
+            nv, nm = expand(indptr, indices, front_v, front_m, visited, scratch)
             if not len(nv):
                 break
             visited[nv] |= nm
@@ -666,3 +685,21 @@ def eccentricity(g: DiGraph, v: int, *, direction: str = "out") -> int:
     dist = bfs_distances(g, v, direction=direction)
     reached = dist[dist != UNREACHED]
     return int(reached.max()) if len(reached) else 0
+
+
+def _expand_frontier_sample():
+    # A 5-vertex diamond-with-tail CSR: 0->{1,2}, 1->3, 2->3, 3->4.
+    indptr = np.array([0, 2, 3, 4, 5, 5], dtype=np.int64)
+    indices = np.array([1, 2, 3, 3, 4], dtype=np.int64)
+    front_v = np.array([1, 2], dtype=np.int64)
+    front_m = np.array([1, 2], dtype=np.uint64)
+    visited = np.array([1, 1, 2, 2, 0], dtype=np.uint64)  # 3 seen by src 1 only
+    return indptr, indices, front_v, front_m, visited, np.zeros(5, dtype=np.uint64)
+
+
+native.register(
+    "expand_frontier",
+    numpy_impl=_expand_frontier_numpy,
+    python_impl=_nk.expand_frontier,
+    sample=_expand_frontier_sample,
+)

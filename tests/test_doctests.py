@@ -23,6 +23,7 @@ import repro.core.rowstore
 import repro.core.serve
 import repro.graph.builder
 import repro.graph.digraph
+import repro.native
 
 MODULES = [
     repro.graph.digraph,
@@ -36,6 +37,7 @@ MODULES = [
     repro.core.hkreach,
     repro.core.rowstore,
     repro.core.serve,
+    repro.native,
     repro.baselines.transitive_closure,
     repro.baselines.pwah,
     repro.baselines.pll,
