@@ -1,0 +1,97 @@
+"""Chaos recovery smoke: kill -9 a QueryServer worker mid-benchmark.
+
+The CI-gated end-to-end version of the serving acceptance criterion:
+while a pool is streaming pipelined batches, a worker process is killed
+with SIGKILL from the outside (no failpoint, no cooperation from the
+victim — exactly the OOM-killer scenario), and every batch must still
+collect **bit-identical** to the in-process engine.  Exits non-zero on
+any divergence, unrecovered pool, or missing restart.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_recovery_smoke.py
+    PYTHONPATH=src python benchmarks/chaos_recovery_smoke.py \
+        --rounds 8 --kills 3 --workers 4
+
+``--kills 0`` runs the same traffic with no chaos (a control run for
+debugging the smoke itself).
+"""
+
+import argparse
+import os
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kreach import KReachIndex
+from repro.core.serialize import save_mmap
+from repro.core.serve import QueryServer
+from repro.graph.generators import gnp_digraph
+from repro.workloads import random_pairs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--rounds", type=int, default=6, help="pipelined batches")
+    parser.add_argument("--kills", type=int, default=2, help="workers to SIGKILL")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--vertices", type=int, default=300)
+    parser.add_argument("--pairs", type=int, default=60_000, help="per round")
+    parser.add_argument("--seed", type=int, default=23)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    graph = gnp_digraph(args.vertices, 4.0 / args.vertices, seed=args.seed)
+    index = KReachIndex(graph, 3)
+    batches = [
+        random_pairs(graph.n, args.pairs, rng=rng) for _ in range(args.rounds)
+    ]
+    expected = [index.query_batch(b) for b in batches]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "index.kr4"
+        save_mmap(index, path)
+        failures = 0
+        with QueryServer(
+            path, workers=args.workers, slot_pairs=4096, hang_timeout=10.0
+        ) as server:
+            # Pipeline everything, then murder workers while it streams.
+            tickets = [server.submit(b) for b in batches]
+            victims = [
+                w.process.pid
+                for w in server._workers[: max(0, args.kills)]
+                if w.process is not None
+            ]
+            for pid in victims:
+                os.kill(pid, signal.SIGKILL)
+                print(f"killed worker pid {pid} (SIGKILL)")
+                time.sleep(0.05)
+            for i, ticket in enumerate(tickets):
+                got = server.collect(ticket, timeout=120.0)
+                ok = np.array_equal(got, expected[i])
+                failures += not ok
+                print(f"round {i}: {'exact' if ok else 'DIVERGED'}")
+            stats = server.stats()
+        print(
+            f"stats: restarts={stats['restarts']} hangs={stats['hangs']} "
+            f"timeouts={stats['timeouts']} health={stats['health']}"
+        )
+        if failures:
+            print(f"FAIL: {failures} diverged batch(es)")
+            return 1
+        if args.kills and stats["restarts"] < 1:
+            print("FAIL: workers were killed but no restart was recorded")
+            return 1
+        if stats["health"] != "ok":
+            print("FAIL: pool did not recover to healthy")
+            return 1
+        print("PASS: exact answers through SIGKILL chaos")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli build --scale 0.2 --json build.json
     python -m repro.cli all --scale 0.2 --output results.txt
     kreach-bench table8            # installed console script
+    kreach-bench verify index.kr4 base.npz updates.krlog  # checksum audit
 
 Query-timing experiments (Tables 5/7 and ``throughput``) run through the
 vectorized batch engine — ``--engine`` picks which one for the k-reach
@@ -226,8 +227,61 @@ def _render(result: "Table | tuple[Table, ...]", markdown: bool) -> str:
     return "\n\n".join(rendered)
 
 
+def _verify_main(argv: list[str]) -> int:
+    """``kreach-bench verify <file>...`` — audit on-disk checksums.
+
+    Prints one line per section with its stored/computed CRC32 status
+    and exits 0 iff every file is clean (``no-crc`` legacy sections and
+    a recoverable op-log ``torn-tail`` count as clean; ``mismatch`` /
+    ``truncated`` / ``malformed`` do not).
+    """
+    parser = argparse.ArgumentParser(
+        prog="kreach-bench verify",
+        description=(
+            "Audit the integrity of k-reach on-disk artifacts: v5/v4 "
+            "mmap indexes (header + per-section CRC32), v2/v3 npz dumps "
+            "(zip member CRCs), and framed op logs (record frames)."
+        ),
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw verify_file() reports as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+    from repro.core.serialize import verify_file
+
+    reports = [verify_file(path) for path in args.files]
+    if args.json:
+        print(json.dumps(reports, indent=2))
+    else:
+        for report in reports:
+            verdict = "OK" if report["ok"] else "CORRUPT"
+            fmt = report["format"] or "unrecognized"
+            print(f"{report['path']}: {fmt} — {verdict}")
+            if report["detail"]:
+                print(f"  ! {report['detail']}")
+            for row in report["sections"]:
+                size = f"{row['bytes']} B" if "bytes" in row else "?"
+                crc = ""
+                if "stored" in row:
+                    crc = (
+                        f" crc32 stored={row['stored']:#010x} "
+                        f"computed={row['computed']:#010x}"
+                    )
+                print(f"  {row['status']:>9}  {row['name']:<16} {size}{crc}")
+    return 0 if all(r["ok"] for r in reports) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # `verify` is a utility subcommand, not an experiment: intercept it
+    # before the experiment parser (whose positional has a choices= set).
+    if argv and argv[0] == "verify":
+        return _verify_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     datasets = DATASET_NAMES
     if args.datasets:

@@ -18,14 +18,25 @@ from repro.core.kreach import KReachIndex
 from repro.core.parallel import build_kreach_parallel, parallel_khop_triples
 from repro.core.rowstore import CompressedRow, compress_rows
 from repro.core.serialize import (
+    IndexCorruptionError,
+    OpLog,
     load_dynamic,
     load_kreach,
     load_mmap,
+    read_oplog,
+    recover_dynamic,
+    recover_oplog,
     save_dynamic,
     save_kreach,
     save_mmap,
+    verify_file,
 )
-from repro.core.serve import QueryServer, ThreadQueryServer
+from repro.core.serve import (
+    QueryServer,
+    QueryTimeout,
+    ThreadQueryServer,
+    UnknownTicketError,
+)
 from repro.core.vertex_cover import (
     COVER_STRATEGIES,
     cover_from_strategy,
@@ -53,8 +64,16 @@ __all__ = [
     "load_dynamic",
     "save_mmap",
     "load_mmap",
+    "IndexCorruptionError",
+    "OpLog",
+    "read_oplog",
+    "recover_oplog",
+    "recover_dynamic",
+    "verify_file",
     "QueryServer",
     "ThreadQueryServer",
+    "QueryTimeout",
+    "UnknownTicketError",
     "CoverDistanceOracle",
     "GeometricKReachFamily",
     "ExactKFamily",

@@ -40,7 +40,7 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
-from repro import native
+from repro import faults, native
 from repro import native_kernels as _nk
 from repro.bitsets.ops import and_any, bit_matrix, or_rows_segmented
 
@@ -198,6 +198,8 @@ class KeyedRowStore:
         """
         if len(u) == 0:
             return np.empty(0, dtype=np.int64)
+        if faults.ENABLED:
+            faults.fire("batch.kernel_slow")
         keys = self._keys
         if len(keys) == 0:
             return np.full(len(u), MISSING_WEIGHT, dtype=np.int64)
@@ -328,6 +330,8 @@ def case4_bitset_join(
     words = matrix.shape[1] if matrix.ndim == 2 else 0
     if len(s) == 0 or words == 0:
         return out
+    if faults.ENABLED:
+        faults.fire("batch.kernel_slow")
     cover_size = matrix.shape[0]
     uniq_s, s_inv = np.unique(s, return_inverse=True)
     uniq_t, t_inv = np.unique(t, return_inverse=True)

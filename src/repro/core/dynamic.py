@@ -237,6 +237,7 @@ class DynamicKReachIndex:
         self.auto_compact = bool(auto_compact)
         self.bitset_matrix_bytes = int(bitset_matrix_bytes)
         self.compactions = 0
+        self._journal = None  # optional crash-safe OpLog (attach_journal)
         self._b1_ok = k is None or k >= 1  # may a u == v handshake use k-1?
         self._b2_ok = k is None or k >= 2  # ... use k-2?
 
@@ -606,6 +607,8 @@ class DynamicKReachIndex:
         self._in[v].add(u)
         self._mark_dirty_adjacency(u, v)
         self._log.append((OP_INSERT, u, v))
+        if self._journal is not None:
+            self._journal.append(OP_INSERT, u, v)
         # Cover invariant: every edge needs a covered endpoint.
         if u not in self._cover and v not in self._cover:
             u_deg = len(self._out[u]) + len(self._in[u])
@@ -657,6 +660,8 @@ class DynamicKReachIndex:
         self._in[v].discard(u)
         self._mark_dirty_adjacency(u, v)
         self._log.append((OP_DELETE, u, v))
+        if self._journal is not None:
+            self._journal.append(OP_DELETE, u, v)
         back_post = self._ball_dists(v, self.k, "in")
         # The recomputation itself is deferred to the next read, so
         # consecutive deletions in a burst share one repair pass.  The
@@ -1247,6 +1252,20 @@ class DynamicKReachIndex:
         if not self._log:
             return np.empty((0, 3), dtype=np.int64)
         return np.asarray(self._log, dtype=np.int64)
+
+    def attach_journal(self, journal) -> None:
+        """Mirror every *accepted* update into a crash-safe journal.
+
+        ``journal`` is a :class:`~repro.core.serialize.OpLog` (anything
+        with ``append(op, u, v)`` works); ``None`` detaches.  No-op
+        writes — duplicate inserts, missing deletes, self-loops — are
+        not journaled, exactly as they never enter the v3 delta log, so
+        a replay of the journal reproduces this index's state.  Attach
+        *after* :func:`~repro.core.serialize.recover_dynamic` has
+        replayed history, not before, or the replay would re-journal
+        every recovered op.
+        """
+        self._journal = journal
 
     def replay(self, log: np.ndarray) -> None:
         """Apply a delta log produced by :meth:`pending_log` in order."""

@@ -37,18 +37,45 @@ implements that step for all three tiers of the system:
 No Python-level edge loop runs in any direction on the array payloads.
 Round-trip fidelity (identical query answers) is asserted in
 ``tests/core/test_serialize.py`` and ``tests/core/test_serialize_mmap.py``.
+
+Durability & integrity
+----------------------
+Every saver in this module is **atomic**: the payload is written to a
+temp file in the destination directory, flushed and ``fsync``-ed, then
+``os.replace``-d over the target (and the directory entry synced) — a
+crash mid-save leaves the previous snapshot byte-identical, never a torn
+file under the expected name (chaos-tested through the
+``serialize.v4_write_mid`` failpoint in :mod:`repro.faults`).
+
+The mmap format is now **v5**: the prologue carries a CRC32 of the JSON
+header (verified on every open — O(header), so the zero-copy open cost
+is unchanged) and the section table carries a CRC32 per array payload,
+verified by the opt-in ``verify=True`` full scan and by
+``kreach-bench verify``.  v4 files written before checksums existed
+still load (their header records no CRCs to check).  Integrity failures
+raise :class:`IndexCorruptionError` — a :class:`ValueError` subclass
+carrying the offending section and byte offset.
+
+:class:`OpLog` is the crash-safe form of the v3 delta log: an
+append-only journal of fixed-size framed ``(op, u, v)`` records, each
+carrying its own CRC32.  A crash mid-append (the
+``serialize.v3_log_tail`` failpoint) leaves a torn tail that the next
+open silently truncates — acknowledged records replay exactly, garbage
+never does.  :func:`recover_dynamic` = base snapshot + journal replay.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import struct
 import zlib
 from pathlib import Path
 from zipfile import BadZipFile
 
 import numpy as np
 
+from repro import faults
 from repro.bitsets.ops import DEFAULT_MATRIX_BYTES
 from repro.bitsets.packed import PackedIntArray
 from repro.core.dynamic import OP_DELETE, OP_INSERT, DynamicKReachIndex
@@ -57,12 +84,18 @@ from repro.core.kreach import KReachIndex
 from repro.graph.digraph import DiGraph
 
 __all__ = [
+    "IndexCorruptionError",
     "save_kreach",
     "load_kreach",
     "save_dynamic",
     "load_dynamic",
     "save_mmap",
     "load_mmap",
+    "OpLog",
+    "read_oplog",
+    "recover_oplog",
+    "recover_dynamic",
+    "verify_file",
 ]
 
 #: Stored sentinel for the unbounded (n-reach) mode.
@@ -76,12 +109,19 @@ _FORMAT_VERSION = 2
 #: dynamic index.
 _DYNAMIC_FORMAT_VERSION = 3
 
-#: Version 4: the flat memory-mappable layout (see module docstring).
-_MMAP_FORMAT_VERSION = 4
+#: Version 5: the flat memory-mappable layout with an always-verified
+#: header CRC32 and per-section payload CRC32s.  Version 4 (the same
+#: layout, no checksums) still loads.
+_MMAP_FORMAT_VERSION = 5
+_MMAP_LEGACY_VERSION = 4
 
-#: v4 file magic (8 bytes) followed by a little-endian uint64 header length.
-_MMAP_MAGIC = b"KREACH4\x00"
-_MMAP_PROLOGUE = 16
+#: File magic (8 bytes).  v5 follows it with a little-endian uint64
+#: header length and a little-endian uint32 CRC32 of the JSON header;
+#: legacy v4 files have only the length.
+_MMAP_MAGIC = b"KREACH5\x00"
+_MMAP_MAGIC_V4 = b"KREACH4\x00"
+_MMAP_PROLOGUE = 20
+_MMAP_PROLOGUE_V4 = 16
 
 #: Every v4 section starts at a multiple of this (cache-line alignment;
 #: any multiple of the widest itemsize would do for the views).
@@ -102,6 +142,67 @@ _V4_SECTIONS = {
     "row_keys": np.dtype("<i8"),
     "row_weights": np.dtype("<i8"),
 }
+
+
+class IndexCorruptionError(ValueError):
+    """A stored index failed an integrity check.
+
+    Subclasses :class:`ValueError`, so every pre-existing caller that
+    catches the generic diagnosis keeps working; the typed form carries
+    the file, the failing section (or ``None`` for whole-file problems),
+    and the byte offset where the damage was detected (or ``None``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | os.PathLike | None = None,
+        section: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = None if path is None else os.fspath(path)
+        self.section = section
+        self.offset = offset
+
+
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory entry so a rename survives power loss (POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platforms without directory fds (Windows): best effort
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, writer) -> None:
+    """Write ``path`` atomically: temp file + fsync + rename + dir sync.
+
+    ``writer(fh)`` produces the payload into the temp handle.  A crash
+    (or an injected fault) at any point before the final ``os.replace``
+    leaves the previous file under ``path`` byte-identical; the
+    half-written temp is removed on an in-process failure and is inert
+    litter (never loadable under the target name) after a hard kill.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            writer(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
 
 
 def _base_payload(index: KReachIndex) -> dict[str, np.ndarray]:
@@ -170,25 +271,32 @@ def save_kreach(index: KReachIndex, path: str | os.PathLike) -> None:
     The canonical :class:`IndexGraph` arrays go to disk verbatim.  WAH
     row views are *derived* structures and are not stored; the loader
     re-enables row compression via its ``compress_rows_at`` argument.
+    The write is atomic (temp + fsync + rename): a crash mid-save leaves
+    any previous dump at ``path`` intact.
     """
-    np.savez_compressed(
+    _atomic_write(
         Path(path),
-        format_version=np.int64(_FORMAT_VERSION),
-        **_base_payload(index),
+        lambda fh: np.savez_compressed(
+            fh,
+            format_version=np.int64(_FORMAT_VERSION),
+            **_base_payload(index),
+        ),
     )
 
 
 def _reject_v4(path: Path) -> None:
-    """Raise the diagnosed cross-version error when ``path`` is a v4 dump."""
+    """Raise the diagnosed cross-version error for a memory-mapped dump."""
     try:
         with open(path, "rb") as fh:
             magic = fh.read(len(_MMAP_MAGIC))
     except OSError:
         return  # let the npz loader produce its own error
-    if magic == _MMAP_MAGIC:
+    if magic == _MMAP_MAGIC or magic == _MMAP_MAGIC_V4:
+        version = (
+            _MMAP_FORMAT_VERSION if magic == _MMAP_MAGIC else _MMAP_LEGACY_VERSION
+        )
         raise ValueError(
-            f"{path} is a v{_MMAP_FORMAT_VERSION} memory-mapped dump; "
-            "load it with load_mmap"
+            f"{path} is a v{version} memory-mapped dump; load it with load_mmap"
         )
 
 
@@ -219,19 +327,23 @@ def save_dynamic(index: DynamicKReachIndex, path: str | os.PathLike) -> None:
     ordinary maintenance path on load means the on-disk format never has
     to mirror the in-memory overlay layout.  Call
     :meth:`~repro.core.dynamic.DynamicKReachIndex.compact` first for a
-    log-free dump of a settled index.
+    log-free dump of a settled index.  The write is atomic (temp +
+    fsync + rename): a crash mid-save leaves any previous dump intact.
     """
     log = index.pending_log()
-    np.savez_compressed(
+    _atomic_write(
         Path(path),
-        format_version=np.int64(_DYNAMIC_FORMAT_VERSION),
-        **_base_payload(index.base),
-        log=log,
-        log_count=np.int64(len(log)),
-        compaction_ratio=np.float64(index.compaction_ratio),
-        compaction_min_rows=np.int64(index.compaction_min_rows),
-        auto_compact=np.int64(index.auto_compact),
-        bitset_matrix_bytes=np.int64(index.bitset_matrix_bytes),
+        lambda fh: np.savez_compressed(
+            fh,
+            format_version=np.int64(_DYNAMIC_FORMAT_VERSION),
+            **_base_payload(index.base),
+            log=log,
+            log_count=np.int64(len(log)),
+            compaction_ratio=np.float64(index.compaction_ratio),
+            compaction_min_rows=np.int64(index.compaction_min_rows),
+            auto_compact=np.int64(index.auto_compact),
+            bitset_matrix_bytes=np.int64(index.bitset_matrix_bytes),
+        ),
     )
 
 
@@ -356,15 +468,21 @@ def _v4_arrays(index: KReachIndex) -> dict[str, np.ndarray]:
 
 
 def save_mmap(index: KReachIndex, path: str | os.PathLike) -> None:
-    """Write ``index`` as a flat memory-mappable file (v4).
+    """Write ``index`` as a flat memory-mappable file (v5).
 
-    Layout: an 8-byte magic, a little-endian uint64 header length, a JSON
-    header carrying the scalars (``k``, ``n``, weight encoding) and the
-    section table (relative offset, element count, dtype per array), then
-    every array's raw bytes at a 64-byte-aligned offset.  Unlike the v2
-    ``.npz`` the payload is **uncompressed** — the cost of a larger file
-    buys :func:`load_mmap` the right to map it zero-copy and lets the OS
-    page cache share the bytes across every serving process.
+    Layout: an 8-byte magic, a little-endian uint64 header length, a
+    little-endian uint32 CRC32 of the JSON header, the JSON header
+    carrying the scalars (``k``, ``n``, weight encoding) and the section
+    table (relative offset, element count, dtype, and payload CRC32 per
+    array), then every array's raw bytes at a 64-byte-aligned offset.
+    Unlike the v2 ``.npz`` the payload is **uncompressed** — the cost of
+    a larger file buys :func:`load_mmap` the right to map it zero-copy
+    and lets the OS page cache share the bytes across every serving
+    process.
+
+    The write is atomic: a crash mid-save (chaos-tested through the
+    ``serialize.v4_write_mid`` failpoint) leaves any previous snapshot
+    at ``path`` byte-identical.
     """
     arrays = _v4_arrays(index)
     sections: dict[str, dict[str, object]] = {}
@@ -375,6 +493,7 @@ def save_mmap(index: KReachIndex, path: str | os.PathLike) -> None:
             "offset": offset,
             "count": int(arr.size),
             "dtype": arr.dtype.str,
+            "crc32": zlib.crc32(arr.data),
         }
         payload_bytes = offset + arr.nbytes
         offset = _align(payload_bytes)
@@ -390,14 +509,25 @@ def save_mmap(index: KReachIndex, path: str | os.PathLike) -> None:
     }
     blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
     base = _align(_MMAP_PROLOGUE + len(blob))
-    with open(Path(path), "wb") as fh:
+
+    def write(fh) -> None:
         fh.write(_MMAP_MAGIC)
         fh.write(len(blob).to_bytes(8, "little"))
+        fh.write(zlib.crc32(blob).to_bytes(4, "little"))
         fh.write(blob)
-        for name, arr in arrays.items():
+        mid = len(arrays) // 2
+        for i, (name, arr) in enumerate(arrays.items()):
+            if i == mid and faults.ENABLED:
+                # Torn-write chaos hook: everything written so far is on
+                # its way to the temp file when the fault kills (or
+                # aborts) the save mid-payload.
+                fh.flush()
+                faults.fire("serialize.v4_write_mid")
             start = base + int(sections[name]["offset"])  # type: ignore[arg-type]
             fh.write(b"\x00" * (start - fh.tell()))
             fh.write(arr.data)
+
+    _atomic_write(Path(path), write)
 
 
 def _npz_version_hint(path: Path) -> str:
@@ -421,6 +551,7 @@ def load_mmap(
     *,
     mode: str = "r",
     validate: bool = False,
+    verify: bool = False,
     compress_rows_at: int | None = None,
     bitset_matrix_bytes: int = DEFAULT_MATRIX_BYTES,
 ) -> KReachIndex:
@@ -429,14 +560,23 @@ def load_mmap(
     The file is mapped once (``mode='r'``: shared read-only pages;
     ``mode='c'``: copy-on-write, private) and every array is installed as
     a view into the mapping — open cost is parsing the header plus O(1)
-    bounds checks per section, independent of index size.  Structural
-    problems the header can reveal — bad magic, corrupt JSON, a missing /
-    misaligned / out-of-bounds section, disagreeing array lengths — raise
-    :class:`ValueError` naming the offending section.  ``validate=True``
-    additionally runs the full O(index) integrity scan (CSR invariants,
-    sorted keys, weight consistency) for arrays of uncertain provenance;
-    the default trusts the header the same way every mmap-based store
-    does, since a full scan would defeat the O(header) open.
+    bounds checks per section, independent of index size.  On v5 files
+    the JSON header's CRC32 is always verified (still O(header)), so a
+    bit flip in the section table can never install a wrong view.
+    Structural problems the header can reveal — bad magic, corrupt JSON,
+    a missing / misaligned / out-of-bounds section, disagreeing array
+    lengths — raise :class:`ValueError`
+    (:class:`IndexCorruptionError` where a section is identifiable)
+    naming the offending section.
+
+    ``verify=True`` additionally checks every section's stored CRC32
+    against its payload bytes (O(index) — opt in, the default preserves
+    the O(header) open); a mismatch raises :class:`IndexCorruptionError`
+    with the section and byte offset.  Legacy v4 files record no
+    checksums, so ``verify=True`` refuses them explicitly rather than
+    pretending to audit.  ``validate=True`` runs the full structural
+    scan (CSR invariants, sorted keys, weight consistency) for arrays of
+    uncertain provenance.
 
     The returned :class:`KReachIndex` serves queries directly off the
     read-only pages; every cache it builds lazily (link matrices, scalar
@@ -450,37 +590,66 @@ def load_mmap(
         file_size = path.stat().st_size
         with open(path, "rb") as fh:
             prologue = fh.read(_MMAP_PROLOGUE)
-            if len(prologue) < _MMAP_PROLOGUE:
+            if len(prologue) < _MMAP_PROLOGUE_V4:
                 raise ValueError(
-                    f"corrupt v4 header in {path}: file shorter than the "
-                    f"{_MMAP_PROLOGUE}-byte prologue"
+                    f"corrupt header in {path}: file shorter than the "
+                    f"{_MMAP_PROLOGUE_V4}-byte prologue"
                 )
             if prologue[:2] == b"PK":  # a zip: some npz-format dump
                 raise ValueError(_npz_version_hint(path))
-            if prologue[:8] != _MMAP_MAGIC:
+            magic = prologue[:8]
+            if magic == _MMAP_MAGIC:
+                legacy = False
+                plen = _MMAP_PROLOGUE
+                if len(prologue) < _MMAP_PROLOGUE:
+                    raise ValueError(
+                        f"corrupt header in {path}: file shorter than the "
+                        f"{_MMAP_PROLOGUE}-byte v5 prologue"
+                    )
+            elif magic == _MMAP_MAGIC_V4:
+                legacy = True
+                plen = _MMAP_PROLOGUE_V4
+            else:
                 raise ValueError(
-                    f"{path} is not a v4 k-reach dump (bad magic)"
+                    f"{path} is not a k-reach mmap dump (bad magic)"
                 )
             hlen = int.from_bytes(prologue[8:16], "little")
-            if hlen <= 0 or _MMAP_PROLOGUE + hlen > file_size:
+            if hlen <= 0 or plen + hlen > file_size:
                 raise ValueError(
-                    f"corrupt v4 header in {path}: declared header length "
+                    f"corrupt header in {path}: declared header length "
                     f"{hlen} does not fit the {file_size}-byte file"
                 )
+            fh.seek(plen)
             blob = fh.read(hlen)
     except OSError as exc:
-        raise ValueError(f"cannot read v4 dump {path}: {exc}") from exc
+        raise ValueError(f"cannot read mmap dump {path}: {exc}") from exc
+    if not legacy:
+        stored_crc = int.from_bytes(prologue[16:20], "little")
+        actual_crc = zlib.crc32(blob)
+        if actual_crc != stored_crc:
+            raise IndexCorruptionError(
+                f"corrupt header in {path}: header checksum mismatch "
+                f"(stored 0x{stored_crc:08x}, computed 0x{actual_crc:08x})",
+                path=path,
+                offset=_MMAP_PROLOGUE,
+            )
     try:
         header = json.loads(blob)
     except ValueError as exc:
         raise ValueError(
-            f"corrupt v4 header in {path}: not valid JSON ({exc})"
+            f"corrupt header in {path}: not valid JSON ({exc})"
         ) from exc
     version = header.get("format_version")
-    if version != _MMAP_FORMAT_VERSION:
+    expected_version = _MMAP_LEGACY_VERSION if legacy else _MMAP_FORMAT_VERSION
+    if version != expected_version:
         raise ValueError(
             f"unsupported k-reach mmap file version {version} "
-            f"(expected {_MMAP_FORMAT_VERSION})"
+            f"(expected {expected_version})"
+        )
+    if verify and legacy:
+        raise ValueError(
+            f"{path} is a legacy v{_MMAP_LEGACY_VERSION} dump with no stored "
+            "checksums; re-save with save_mmap to make it verifiable"
         )
     kind = header.get("kind")
     if kind != "kreach":
@@ -503,7 +672,7 @@ def load_mmap(
     if not isinstance(sections, dict):
         raise ValueError(f"corrupt v4 header in {path}: no section table")
 
-    base = _align(_MMAP_PROLOGUE + hlen)
+    base = _align(plen + hlen)
     # One shared mapping for the whole payload; every section is a view
     # into it.  The raw mmap module beats np.memmap's subclass machinery
     # by ~0.2 ms per open — which matters when open is the O(header)
@@ -520,49 +689,89 @@ def load_mmap(
         )
     buf = np.frombuffer(mapping, dtype=np.uint8)
     views: dict[str, np.ndarray] = {}
+    section_starts: dict[str, int] = {}
     payload_end = 0
     for name, dtype in _V4_SECTIONS.items():
         entry = sections.get(name)
         if entry is None:
-            raise ValueError(f"corrupt v4 dump {path}: missing section {name!r}")
+            raise IndexCorruptionError(
+                f"corrupt mmap dump {path}: missing section {name!r}",
+                path=path,
+                section=name,
+            )
         try:
             rel = int(entry["offset"])
             count = int(entry["count"])
             declared = np.dtype(entry["dtype"])
         except (KeyError, TypeError, ValueError) as exc:
-            raise ValueError(
-                f"corrupt v4 dump {path}: malformed entry for section "
-                f"{name!r} ({exc})"
+            raise IndexCorruptionError(
+                f"corrupt mmap dump {path}: malformed entry for section "
+                f"{name!r} ({exc})",
+                path=path,
+                section=name,
             ) from exc
         if declared != dtype:
-            raise ValueError(
-                f"corrupt v4 dump {path}: section {name!r} declares dtype "
-                f"{declared}, expected {dtype}"
+            raise IndexCorruptionError(
+                f"corrupt mmap dump {path}: section {name!r} declares dtype "
+                f"{declared}, expected {dtype}",
+                path=path,
+                section=name,
             )
         if count < 0 or rel < 0 or rel % _MMAP_ALIGN:
-            raise ValueError(
-                f"corrupt v4 dump {path}: section {name!r} has a bad or "
-                f"misaligned offset (offset={rel}, count={count})"
+            raise IndexCorruptionError(
+                f"corrupt mmap dump {path}: section {name!r} has a bad or "
+                f"misaligned offset (offset={rel}, count={count})",
+                path=path,
+                section=name,
+                offset=rel,
             )
         start = base + rel
         stop = start + count * dtype.itemsize
         if stop > file_size:
-            raise ValueError(
-                f"truncated v4 dump {path}: section {name!r} ends at byte "
-                f"{stop} but the file holds only {file_size}"
+            raise IndexCorruptionError(
+                f"truncated mmap dump {path}: section {name!r} ends at byte "
+                f"{stop} but the file holds only {file_size}",
+                path=path,
+                section=name,
+                offset=start,
             )
         payload_end = max(payload_end, rel + count * dtype.itemsize)
+        section_starts[name] = start
         views[name] = buf[start:stop].view(dtype)
     declared_payload = header.get("payload_bytes")
     if declared_payload != payload_end:
         raise ValueError(
-            f"corrupt v4 header in {path}: payload_bytes "
+            f"corrupt header in {path}: payload_bytes "
             f"{declared_payload!r} disagrees with the section table end "
             f"{payload_end}"
         )
+    if verify:
+        for name in _V4_SECTIONS:
+            stored = sections[name].get("crc32")
+            if not isinstance(stored, int):
+                raise IndexCorruptionError(
+                    f"corrupt mmap dump {path}: section {name!r} records no "
+                    "checksum",
+                    path=path,
+                    section=name,
+                )
+            actual = zlib.crc32(views[name])
+            if actual != stored:
+                raise IndexCorruptionError(
+                    f"corrupt mmap dump {path}: section {name!r} checksum "
+                    f"mismatch at byte {section_starts[name]} "
+                    f"(stored 0x{stored:08x}, computed 0x{actual:08x})",
+                    path=path,
+                    section=name,
+                    offset=section_starts[name],
+                )
 
     def bad(section: str, msg: str) -> ValueError:
-        return ValueError(f"corrupt v4 dump {path}: section {section!r} {msg}")
+        return IndexCorruptionError(
+            f"corrupt mmap dump {path}: section {section!r} {msg}",
+            path=path,
+            section=section,
+        )
 
     # O(1) cross-section consistency — enough to make every later array
     # access in-bounds without scanning any payload.
@@ -636,3 +845,367 @@ def load_mmap(
         compress_rows_at=compress_rows_at,
         bitset_matrix_bytes=bitset_matrix_bytes,
     )
+
+
+# ----------------------------------------------------------------------
+# Crash-safe framed op log (the durable form of the v3 delta log)
+# ----------------------------------------------------------------------
+#: Op-log file magic (8 bytes).
+_OPLOG_MAGIC = b"KRLOG1\x00\x00"
+
+#: Record framing: <u4 payload length> <i8 op, i8 u, i8 v> <u4 crc32>,
+#: where the CRC covers the length prefix and the payload.  Fixed-size
+#: frames mean a crashed append can tear at most the trailing record.
+_OPLOG_PAYLOAD = 24
+_OPLOG_RECORD = 4 + _OPLOG_PAYLOAD + 4
+
+
+def _oplog_frame(op: int, u: int, v: int) -> bytes:
+    body = _OPLOG_PAYLOAD.to_bytes(4, "little") + struct.pack(
+        "<3q", int(op), int(u), int(v)
+    )
+    return body + zlib.crc32(body).to_bytes(4, "little")
+
+
+def _oplog_scan(data: bytes, path) -> tuple[np.ndarray, int]:
+    """Decode framed records; returns ``(ops, torn_tail_bytes)``.
+
+    A *partial* trailing frame is a torn tail — the signature of a crash
+    mid-append — and is reported for truncation.  A *complete* frame
+    whose CRC fails is bit corruption of an acknowledged record and
+    raises :class:`IndexCorruptionError` with its byte offset: silently
+    dropping it (and everything after it) would un-acknowledge durable
+    writes.
+    """
+    if data[: len(_OPLOG_MAGIC)] != _OPLOG_MAGIC:
+        raise IndexCorruptionError(
+            f"{path} is not a k-reach op log (bad magic)", path=path, offset=0
+        )
+    size = len(data)
+    off = len(_OPLOG_MAGIC)
+    rows: list[tuple[int, int, int]] = []
+    while off < size:
+        if size - off < _OPLOG_RECORD:
+            return _oplog_rows(rows), size - off  # torn tail
+        frame = data[off : off + _OPLOG_RECORD]
+        length = int.from_bytes(frame[:4], "little")
+        stored = int.from_bytes(frame[-4:], "little")
+        if length != _OPLOG_PAYLOAD or zlib.crc32(frame[:-4]) != stored:
+            raise IndexCorruptionError(
+                f"corrupt op log {path}: record frame at byte {off} fails "
+                "its checksum",
+                path=path,
+                offset=off,
+            )
+        rows.append(struct.unpack("<3q", frame[4:-4]))
+        off += _OPLOG_RECORD
+    return _oplog_rows(rows), 0
+
+
+def _oplog_rows(rows: list[tuple[int, int, int]]) -> np.ndarray:
+    if not rows:
+        return np.empty((0, 3), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def read_oplog(path: str | os.PathLike) -> np.ndarray:
+    """Decode an :class:`OpLog` file to an ``(ops, 3)`` int64 array.
+
+    A torn tail (crash mid-append) is ignored — only whole, checksummed
+    records are returned; the file itself is left untouched (use
+    :func:`recover_oplog` to also truncate the tail in place).
+    """
+    return _oplog_scan(Path(path).read_bytes(), path)[0]
+
+
+def recover_oplog(path: str | os.PathLike) -> tuple[np.ndarray, int]:
+    """Read an op log, truncating any torn tail in place.
+
+    Returns ``(ops, truncated_bytes)``; after it, the file ends on a
+    record boundary and is safe to append to again.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    ops, torn = _oplog_scan(data, path)
+    if torn:
+        with open(path, "r+b") as fh:
+            fh.truncate(len(data) - torn)
+            fh.flush()
+            os.fsync(fh.fileno())
+    return ops, torn
+
+
+class OpLog:
+    """Append-only crash-safe journal of dynamic ``(op, u, v)`` updates.
+
+    The durable transport form of the v3 delta log: each record is a
+    fixed 32-byte frame carrying a checksummed length prefix, so a crash
+    mid-append — the ``serialize.v3_log_tail`` failpoint — leaves at
+    most one torn trailing frame, which the next :class:`OpLog` open (or
+    :func:`recover_oplog`) silently truncates.  Acknowledged records
+    replay exactly; garbage never does.
+
+    Attach one to a live :class:`~repro.core.dynamic.DynamicKReachIndex`
+    via :meth:`~repro.core.dynamic.DynamicKReachIndex.attach_journal` so
+    every accepted update is journaled; rebuild after a crash with
+    :func:`recover_dynamic`.
+
+    ``fsync=True`` (default) syncs every append — the journal is the
+    durability story, so it does not buffer acknowledged ops.  Pass
+    ``fsync=False`` for tests or bulk loads where the tradeoff is
+    explicit.
+
+    If an append *raises* (injected fault, disk full), the handle must
+    be considered torn: reopen the path — the constructor runs recovery
+    — before appending again.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self.recovered_bytes = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            ops, self.recovered_bytes = recover_oplog(self.path)
+            self._count = len(ops)
+            self._fh = open(self.path, "ab")
+        else:
+            self._count = 0
+            self._fh = open(self.path, "wb")
+            self._fh.write(_OPLOG_MAGIC)
+            self._sync()
+
+    def _sync(self) -> None:
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def append(self, op: int, u: int, v: int) -> None:
+        """Durably append one record (fsync-ed unless ``fsync=False``)."""
+        frame = _oplog_frame(op, u, v)
+        if faults.ENABLED and faults.armed("serialize.v3_log_tail"):
+            # Torn-append chaos hook: half the frame reaches the disk
+            # before the fault kills (or aborts) the writer.
+            cut = len(frame) // 2
+            self._fh.write(frame[:cut])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            faults.fire("serialize.v3_log_tail")
+            self._fh.write(frame[cut:])
+        else:
+            self._fh.write(frame)
+        self._sync()
+        self._count += 1
+
+    def extend(self, log) -> None:
+        """Append every ``(op, u, v)`` row of an array or iterable."""
+        for op, u, v in np.asarray(log, dtype=np.int64).reshape(-1, 3).tolist():
+            self.append(op, u, v)
+
+    @property
+    def op_count(self) -> int:
+        """Records known durable (recovered at open + appended since)."""
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._sync()
+            finally:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "OpLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._fh is None else "open"
+        return f"OpLog({str(self.path)!r}, ops={self._count}, {state})"
+
+
+def recover_dynamic(
+    base_path: str | os.PathLike,
+    log_path: str | os.PathLike,
+    **from_base_options,
+) -> DynamicKReachIndex:
+    """Rebuild a dynamic index from a base snapshot plus its journal.
+
+    ``base_path`` may be a v2 npz (:func:`save_kreach`) or a v4/v5 mmap
+    dump (:func:`save_mmap`; opened copy-on-write so the overlay never
+    touches the shared pages).  The journal's torn tail, if any, is
+    truncated (see :func:`recover_oplog`), the surviving records are
+    validated against the base's vertex range, and the log is replayed
+    through the ordinary maintenance path — exactly what
+    :func:`load_dynamic` does for the embedded v3 log, but driven from
+    the crash-safe framed journal.  Attach a fresh (or the recovered)
+    journal afterwards to keep journaling.
+    """
+    base_path = Path(base_path)
+    with open(base_path, "rb") as fh:
+        magic = fh.read(8)
+    if magic in (_MMAP_MAGIC, _MMAP_MAGIC_V4):
+        base = load_mmap(base_path, mode="c")
+    else:
+        base = load_kreach(base_path)
+    ops, _ = recover_oplog(log_path)
+    _validate_log(ops, len(ops), base.graph.n)
+    dyn = DynamicKReachIndex.from_base(base, **from_base_options)
+    dyn.replay(ops)
+    return dyn
+
+
+# ----------------------------------------------------------------------
+# Checksum audit (the `kreach-bench verify` backend)
+# ----------------------------------------------------------------------
+def _audit_mmap(path: Path, report: dict) -> None:
+    raw = path.read_bytes()
+    legacy = raw[:8] == _MMAP_MAGIC_V4
+    plen = _MMAP_PROLOGUE_V4 if legacy else _MMAP_PROLOGUE
+    report["format"] = f"v{_MMAP_LEGACY_VERSION if legacy else _MMAP_FORMAT_VERSION} mmap index"
+    if len(raw) < plen:
+        report["detail"] = "file shorter than its prologue"
+        return
+    hlen = int.from_bytes(raw[8:16], "little")
+    if hlen <= 0 or plen + hlen > len(raw):
+        report["detail"] = f"declared header length {hlen} does not fit the file"
+        return
+    blob = raw[plen : plen + hlen]
+    if legacy:
+        report["sections"].append(
+            {"name": "<header>", "bytes": hlen, "status": "no-crc"}
+        )
+    else:
+        stored = int.from_bytes(raw[16:20], "little")
+        computed = zlib.crc32(blob)
+        report["sections"].append(
+            {
+                "name": "<header>",
+                "bytes": hlen,
+                "stored": stored,
+                "computed": computed,
+                "status": "ok" if stored == computed else "mismatch",
+            }
+        )
+    try:
+        header = json.loads(blob)
+        sections = header["sections"]
+    except (ValueError, KeyError, TypeError):
+        report["detail"] = "header is not parseable JSON with a section table"
+        return
+    base = _align(plen + hlen)
+    for name, entry in sections.items():
+        try:
+            start = base + int(entry["offset"])
+            nbytes = int(entry["count"]) * np.dtype(entry["dtype"]).itemsize
+        except (KeyError, TypeError, ValueError):
+            report["sections"].append({"name": name, "status": "malformed"})
+            continue
+        row = {"name": name, "bytes": nbytes, "offset": start}
+        if start + nbytes > len(raw):
+            row["status"] = "truncated"
+        else:
+            stored = entry.get("crc32")
+            if not isinstance(stored, int):
+                row["status"] = "no-crc"
+            else:
+                computed = zlib.crc32(raw[start : start + nbytes])
+                row.update(
+                    stored=stored,
+                    computed=computed,
+                    status="ok" if stored == computed else "mismatch",
+                )
+        report["sections"].append(row)
+
+
+def _audit_npz(path: Path, report: dict) -> None:
+    import zipfile
+
+    try:
+        with np.load(path) as data:
+            version = int(data["format_version"])
+        report["format"] = f"v{version} npz ({'dynamic' if version == _DYNAMIC_FORMAT_VERSION else 'static'})"
+    except Exception:
+        report["format"] = "npz"
+    try:
+        with zipfile.ZipFile(path) as zf:
+            for info in zf.infolist():
+                row = {"name": info.filename, "bytes": info.file_size}
+                try:
+                    with zf.open(info) as member:  # read checks the zip CRC
+                        while member.read(1 << 20):
+                            pass
+                    row["status"] = "ok"
+                except Exception:
+                    row["status"] = "mismatch"
+                report["sections"].append(row)
+    except Exception as exc:
+        report["detail"] = f"unreadable zip archive: {exc}"
+
+
+def _audit_oplog(path: Path, report: dict) -> None:
+    report["format"] = "framed op log"
+    try:
+        ops, torn = _oplog_scan(path.read_bytes(), path)
+        report["sections"].append(
+            {
+                "name": "records",
+                "bytes": len(ops) * _OPLOG_RECORD,
+                "count": len(ops),
+                "status": "ok",
+            }
+        )
+        if torn:
+            report["sections"].append(
+                {"name": "torn tail", "bytes": torn, "status": "torn-tail"}
+            )
+    except IndexCorruptionError as exc:
+        report["sections"].append(
+            {"name": "records", "offset": exc.offset, "status": "mismatch"}
+        )
+
+
+def verify_file(path: str | os.PathLike) -> dict:
+    """Audit the checksums of any on-disk artifact this module writes.
+
+    Accepts a v4/v5 mmap index, a v2/v3 npz dump, or a framed op log,
+    and returns a report dict: ``format``, a ``sections`` list (name,
+    size, stored/computed CRC32, per-section ``status``), and ``ok`` —
+    ``True`` iff nothing is corrupt.  Statuses: ``ok``, ``mismatch``,
+    ``truncated``, ``malformed``, ``no-crc`` (recorded before checksums
+    existed — not an error), and ``torn-tail`` (an op log's recoverable
+    crashed append — not an error).  This is the backend of
+    ``kreach-bench verify``.
+    """
+    path = Path(path)
+    report: dict = {
+        "path": str(path),
+        "format": None,
+        "sections": [],
+        "detail": "",
+        "ok": False,
+    }
+    try:
+        with open(path, "rb") as fh:
+            magic = fh.read(8)
+    except OSError as exc:
+        report["detail"] = f"unreadable: {exc}"
+        return report
+    if magic in (_MMAP_MAGIC, _MMAP_MAGIC_V4):
+        _audit_mmap(path, report)
+    elif magic[:2] == b"PK":
+        _audit_npz(path, report)
+    elif magic == _OPLOG_MAGIC:
+        _audit_oplog(path, report)
+    else:
+        report["detail"] = "not a k-reach index, dump, or op log"
+        return report
+    bad_statuses = {"mismatch", "truncated", "malformed"}
+    report["ok"] = not report["detail"] and bool(report["sections"]) and not any(
+        row["status"] in bad_statuses for row in report["sections"]
+    )
+    return report

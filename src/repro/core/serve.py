@@ -34,7 +34,17 @@ that scales batch-query throughput with cores:
 * **Worker supervision.**  A worker that dies mid-stream (OOM-killed,
   crashed, or :meth:`restart_worker`) is respawned and its in-flight
   shards are re-dispatched; results from a dead generation are dropped
-  by a generation tag, so answers stay exact across restarts.
+  by a generation tag, so answers stay exact across restarts.  A
+  watchdog thread additionally detects *hung* (not just dead) workers
+  via per-shard heartbeats and kill-restarts them through the same
+  protocol, with capped exponential backoff on repeated failures; a
+  pool that exhausts its restart budget degrades gracefully to serving
+  in-process (see ``hang_timeout`` / ``max_restarts``).
+* **Deadlines.**  ``submit`` / ``collect`` / ``query_batch`` accept
+  ``timeout=`` (seconds from now) and ``deadline=`` (absolute
+  ``time.monotonic()`` instant).  A ticket that cannot settle in time
+  raises :class:`QueryTimeout`; the ticket stays collectable, so a
+  caller may retry ``collect`` later without losing the batch.
 
 :class:`ThreadQueryServer` is the single-address-space sibling for the
 native kernel tier (:mod:`repro.native`): compiled ``nogil`` kernels
@@ -71,6 +81,7 @@ import multiprocessing as mp
 import os
 import queue
 import threading
+import time
 import traceback
 from collections import deque
 from multiprocessing import connection as mp_connection
@@ -78,11 +89,16 @@ from multiprocessing import sharedctypes
 
 import numpy as np
 
-from repro import native
+from repro import faults, native
 from repro.core.batch import as_pair_arrays, case_codes
 from repro.core.kreach import _ENGINES
 
-__all__ = ["QueryServer", "ThreadQueryServer"]
+__all__ = [
+    "QueryServer",
+    "ThreadQueryServer",
+    "QueryTimeout",
+    "UnknownTicketError",
+]
 
 #: Default pairs per shared-memory slot (the dispatch granularity).
 DEFAULT_SLOT_PAIRS = 1 << 15
@@ -103,6 +119,66 @@ _MAX_SHARD_RETRIES = 2
 #: control pipe, keeping every frame under PIPE_BUF so each send is one
 #: atomic write (see :func:`_worker_main`).
 _MAX_ERROR_CHARS = 2000
+
+#: Ceiling on the exponential restart backoff (seconds).
+_BACKOFF_CAP = 2.0
+
+
+class QueryTimeout(TimeoutError):
+    """A ticket missed its ``timeout=`` / ``deadline=`` bound.
+
+    The ticket is *not* discarded: its shards keep computing (or keep
+    being supervised) and a later :meth:`QueryServer.collect` without a
+    deadline — or with a fresh one — can still retrieve the verdicts.
+    """
+
+    def __init__(self, ticket_id: int, waited: float) -> None:
+        super().__init__(
+            f"ticket {ticket_id} not settled after {waited:.3f}s; "
+            "it remains collectable"
+        )
+        self.ticket_id = ticket_id
+        self.waited = waited
+
+
+class UnknownTicketError(KeyError):
+    """``collect`` was asked for a ticket that does not exist.
+
+    Either the id was never issued by this server or the ticket was
+    already collected (tickets are single-use).  Subclasses
+    :class:`KeyError` so pre-existing ``except KeyError`` callers keep
+    working.
+    """
+
+    def __init__(self, ticket_id: int) -> None:
+        super().__init__(
+            f"unknown or already-collected ticket {ticket_id}"
+        )
+        self.ticket_id = ticket_id
+
+    def __str__(self) -> str:  # KeyError would quote the message
+        return self.args[0]
+
+
+def _resolve_deadline(
+    timeout: float | None, deadline: float | None
+) -> float | None:
+    """Combine ``timeout`` (relative) and ``deadline`` (monotonic) bounds."""
+    dl = None
+    if timeout is not None:
+        dl = time.monotonic() + float(timeout)
+    if deadline is not None:
+        deadline = float(deadline)
+        dl = deadline if dl is None else min(dl, deadline)
+    return dl
+
+
+def _merge_deadlines(a: float | None, b: float | None) -> float | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
 
 
 def _worker_main(
@@ -163,7 +239,13 @@ def _worker_main(
         if msg is None:
             break
         slot, count, eng = msg
+        # Shard-progress heartbeat: the parent's watchdog distinguishes
+        # "computing" from "hung" by the age of the latest beat.
+        send("start", slot)
         try:
+            if faults.ENABLED:
+                faults.fire("serve.worker_exit")  # os._exit, like an OOM kill
+                faults.fire("serve.worker_hang")  # park for the watchdog
             verdicts = index.query_batch(
                 pairs_view[slot, :count], engine=eng or engine
             )
@@ -204,15 +286,22 @@ def _case_shards(codes: np.ndarray, count: int) -> list[np.ndarray]:
 class _Ticket:
     """One submitted batch: its output buffer and outstanding shard count."""
 
-    __slots__ = ("id", "s", "t", "out", "remaining", "error")
+    __slots__ = ("id", "s", "t", "out", "remaining", "error", "deadline")
 
-    def __init__(self, ticket_id: int, s: np.ndarray, t: np.ndarray) -> None:
+    def __init__(
+        self,
+        ticket_id: int,
+        s: np.ndarray,
+        t: np.ndarray,
+        deadline: float | None = None,
+    ) -> None:
         self.id = ticket_id
         self.s = s
         self.t = t
         self.out = np.zeros(len(s), dtype=bool)
         self.remaining = 0
         self.error: str | None = None
+        self.deadline = deadline  # absolute time.monotonic() bound, if any
 
 
 class _Worker:
@@ -233,6 +322,8 @@ class _Worker:
         "inflight",
         "backlog",
         "reviving",
+        "last_beat",
+        "strikes",
     )
 
     def __init__(self, worker_id: int, slots: int, slot_pairs: int) -> None:
@@ -261,6 +352,8 @@ class _Worker:
             deque()
         )
         self.reviving = False
+        self.last_beat = 0.0  # monotonic time of the latest heartbeat
+        self.strikes = 0  # consecutive revivals without a completed shard
 
 
 class QueryServer:
@@ -294,6 +387,24 @@ class QueryServer:
         Multiprocessing start method; default ``'fork'`` where available
         (workers then inherit nothing index-sized — the index comes from
         the file either way).
+    hang_timeout:
+        Seconds of heartbeat silence from a worker *holding in-flight
+        shards* before the watchdog declares it hung and kills it (the
+        generation protocol then re-dispatches its shards exactly as for
+        a crash).  Must exceed the worst-case single-shard compute time;
+        ``None`` disables the watchdog (dead workers are still detected
+        by the drain paths).
+    max_restarts:
+        Total worker restarts (crash, hang, or explicit) this pool will
+        attempt before degrading to in-process serving; ``None`` means
+        unlimited.  Degraded mode answers every query with the parent's
+        own index view — slower, never wrong.
+    restart_backoff:
+        Base of the capped exponential backoff between *consecutive*
+        failed revivals of the same worker (first revival is immediate).
+    shutdown_grace:
+        Seconds a worker gets to exit cleanly before ``close`` (or a
+        revival) escalates to ``terminate`` and then ``kill``.
 
     Examples
     --------
@@ -320,9 +431,17 @@ class QueryServer:
         slots_per_worker: int = DEFAULT_SLOTS_PER_WORKER,
         prepare: bool = True,
         start_method: str | None = None,
+        hang_timeout: float | None = 30.0,
+        max_restarts: int | None = 16,
+        restart_backoff: float = 0.05,
+        shutdown_grace: float = 5.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ValueError(
+                f"hang_timeout must be positive or None, got {hang_timeout}"
+            )
         if slot_pairs < 1:
             raise ValueError(f"slot_pairs must be >= 1, got {slot_pairs}")
         if slots_per_worker < 1:
@@ -353,8 +472,17 @@ class QueryServer:
         self._tickets: dict[int, _Ticket] = {}
         self._next_ticket = 0
         self._closed = False
+        self._hang_timeout = hang_timeout
+        self._max_restarts = max_restarts
+        self._restart_backoff = float(restart_backoff)
+        self._shutdown_grace = float(shutdown_grace)
+        self._degraded = False
         self.restarts = 0
         self.pairs_served = 0
+        self.timeouts = 0
+        self.hangs = 0
+        self._watchdog_stop = threading.Event()
+        self._watchdog: threading.Thread | None = None
         try:
             for w in self._workers:
                 self._spawn(w)
@@ -362,6 +490,13 @@ class QueryServer:
         except BaseException:
             self.close()
             raise
+        if hang_timeout is not None:
+            self._watchdog = threading.Thread(
+                target=self._watch,
+                name="kreach-serve-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -379,6 +514,7 @@ class QueryServer:
         w.task_w = task_w
         w.result_r = result_r
         w.awaiting_ready = True
+        w.last_beat = time.monotonic()  # fresh generation, fresh clock
         w.process = self._ctx.Process(
             target=_worker_main,
             args=(
@@ -453,11 +589,107 @@ class QueryServer:
                             f"query-server worker {w.id} died during start-up"
                         )
 
+    def _watch(self) -> None:
+        """Watchdog loop: kill workers whose heartbeats went silent.
+
+        Detection-only by design — killing the hung process makes its
+        result pipe hit EOF, which the single-threaded drain paths
+        already translate into a revival with re-dispatch, so the
+        watchdog never touches pipes or worker bookkeeping from this
+        thread.  A worker is only suspect while it *holds in-flight
+        shards*; an idle worker may be silent forever.
+        """
+        interval = max(0.05, self._hang_timeout / 4.0)
+        while not self._watchdog_stop.wait(interval):
+            now = time.monotonic()
+            for w in self._workers:
+                process = w.process
+                if (
+                    process is None
+                    or not process.is_alive()
+                    or w.reviving
+                    or not w.inflight
+                ):
+                    continue
+                result_r = w.result_r
+                try:
+                    if result_r is not None and result_r.poll(0):
+                        # Undrained traffic: progressing, parent just
+                        # hasn't read the beats yet.
+                        continue
+                except (OSError, ValueError):
+                    continue  # channel being torn down concurrently
+                if now - w.last_beat > self._hang_timeout:
+                    self.hangs += 1
+                    try:
+                        process.kill()
+                    except (OSError, ValueError):
+                        pass
+
+    def _reap(self, w: _Worker, grace: float | None = None) -> None:
+        """Ensure a worker process is gone: join, terminate, then kill."""
+        process = w.process
+        if process is None:
+            return
+        process.join(timeout=self._shutdown_grace if grace is None else grace)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=1.0)
+
+    def _run_local(self, ticket: _Ticket, positions, eng) -> None:
+        """Serve one shard on the parent's own index view (degraded mode)."""
+        try:
+            pairs = np.column_stack((ticket.s[positions], ticket.t[positions]))
+            ticket.out[positions] = self._index.query_batch(
+                pairs, engine=eng or self._engine
+            )
+        except BaseException:
+            ticket.error = (
+                ticket.error or traceback.format_exc()[-_MAX_ERROR_CHARS:]
+            )
+        ticket.remaining -= 1
+
+    def _degrade(self) -> None:
+        """Give up on the pool: serve everything in-process from now on.
+
+        The restart budget is spent — rather than reviving workers in a
+        loop (or deadlocking the callers), every outstanding shard is
+        answered with the parent's own index view and future submissions
+        bypass the pool entirely.  Slower, never wrong; ``stats()``
+        reports ``health='degraded'``.
+        """
+        if self._degraded:
+            return
+        self._degraded = True
+        self._watchdog_stop.set()
+        for w in self._workers:
+            for slot in sorted(w.inflight):
+                ticket, positions, eng, _ = w.inflight.pop(slot)
+                w.backlog.appendleft((ticket, positions, eng, 0))
+            w.free_slots = list(range(self._slots))
+            while w.backlog:
+                ticket, positions, eng, _ = w.backlog.popleft()
+                self._run_local(ticket, positions, eng)
+            self._reap(w, grace=0.1)
+            for conn in (w.task_w, w.result_r):
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+            w.task_w = None
+            w.result_r = None
+
     def _revive(self, w: _Worker) -> None:
         """Respawn a dead worker and requeue everything it was holding."""
-        if w.process is not None:
-            w.process.join(timeout=5)
+        if self._degraded:
+            return
+        self._reap(w)
         self.restarts += 1
+        w.strikes += 1
         w.reviving = True
         try:
             # Settle whatever the old generation already delivered before
@@ -497,8 +729,29 @@ class QueryServer:
                         (ticket, positions, eng, attempts + 1)
                     )
             w.free_slots = list(range(self._slots))
-            self._spawn(w)
-            self._await_ready([w])
+            if (
+                self._max_restarts is not None
+                and self.restarts > self._max_restarts
+            ):
+                self._degrade()
+                return
+            if w.strikes >= 2:
+                # Same worker failing repeatedly: back off before the
+                # respawn so a crash loop cannot spin the host.
+                time.sleep(
+                    min(
+                        _BACKOFF_CAP,
+                        self._restart_backoff * (2 ** (w.strikes - 2)),
+                    )
+                )
+            try:
+                self._spawn(w)
+                self._await_ready([w])
+            except RuntimeError:
+                # The replacement itself failed to come up; spend the
+                # rest of the budget elsewhere or degrade now.
+                self._degrade()
+                return
         finally:
             w.reviving = False
         self._dispatch(w)
@@ -522,10 +775,7 @@ class QueryServer:
                     w.task_w.send(None)
                 except (OSError, ValueError):
                     pass
-            w.process.join(timeout=5)
-            if w.process.is_alive():
-                w.process.terminate()
-        self._revive(w)
+        self._revive(w)  # _reap inside escalates join -> terminate -> kill
 
     # ------------------------------------------------------------------
     # Dispatch plumbing
@@ -542,6 +792,11 @@ class QueryServer:
         noticed by the blocking drain's health poll, a guaranteed
         latency spike on the first post-death batch.
         """
+        if self._degraded:
+            while w.backlog:
+                ticket, positions, eng, _ = w.backlog.popleft()
+                self._run_local(ticket, positions, eng)
+            return
         if w.reviving:
             return  # _revive re-dispatches once the new generation is up
         if w.backlog and (
@@ -580,6 +835,9 @@ class QueryServer:
         w = self._workers[worker_id]
         if generation != w.generation:
             return ("stale", worker_id, generation)
+        # Any current-generation message is proof of life.  "start" is
+        # sent for exactly this purpose — it needs no other handling.
+        w.last_beat = time.monotonic()
         if kind == "ready":
             w.awaiting_ready = False
         if kind == "init_error":
@@ -587,6 +845,7 @@ class QueryServer:
                 f"query-server worker {worker_id} failed to start:\n{detail}"
             )
         if kind in ("done", "task_error"):
+            w.strikes = 0  # completed a shard: the crash-loop backoff resets
             slot, error = (detail, None) if kind == "done" else detail
             ticket, positions, _, _ = w.inflight.pop(slot)
             count = len(positions)
@@ -603,15 +862,19 @@ class QueryServer:
             self._dispatch(w)
         return (kind, worker_id, generation)
 
-    def _drain(self, block: bool) -> bool:
+    def _drain(self, block: bool, wait: float | None = None) -> bool:
         """Process available worker messages; returns whether any arrived.
 
         On a quiet interval with ``block=True`` the pool is
         health-checked and any dead worker revived (its shards
         re-dispatched), so a caller looping on :meth:`collect` can never
-        deadlock on a crashed worker.
+        deadlock on a crashed worker.  ``wait`` caps the blocking
+        interval (deadline-bounded collects poll at least that often).
         """
-        handled = self._pump(_HEALTH_POLL_S if block else 0)
+        interval = _HEALTH_POLL_S if block else 0
+        if wait is not None:
+            interval = max(0.0, min(interval, wait))
+        handled = self._pump(interval)
         if not handled and block:
             for w in self._workers:
                 if (w.inflight or w.backlog) and (
@@ -627,54 +890,99 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Query API
     # ------------------------------------------------------------------
-    def submit(self, pairs, *, engine: str | None = None) -> int:
+    def submit(
+        self,
+        pairs,
+        *,
+        engine: str | None = None,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> int:
         """Enqueue a batch; returns a ticket for :meth:`collect`.
 
         The batch is validated, pre-split by case code, sharded across
         the pool in slot-sized chunks, and the first chunks start
         transferring immediately — call :meth:`submit` again before
         :meth:`collect` to pipeline batches through the pool.
+
+        ``timeout`` (seconds from now) / ``deadline`` (absolute
+        ``time.monotonic()``) attach a bound to the *ticket*: every
+        later ``collect`` honors it, combined with the collect call's
+        own bound, whichever is tighter.
         """
         self._check_open()
         if engine is not None and engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         s, t = as_pair_arrays(pairs, self._n)
-        ticket = _Ticket(self._next_ticket, s, t)
+        ticket = _Ticket(
+            self._next_ticket, s, t, _resolve_deadline(timeout, deadline)
+        )
         self._next_ticket += 1
         self._tickets[ticket.id] = ticket
         if len(s):
-            flags = self._index._flags()
-            shares = self._shard(case_codes(flags[s], flags[t]))
-            for w, share in zip(self._workers, shares):
-                for start in range(0, len(share), self._slot_pairs):
-                    w.backlog.append(
-                        (
-                            ticket,
-                            share[start : start + self._slot_pairs],
-                            engine,
-                            0,
+            if self._degraded:
+                ticket.remaining = 1
+                self._run_local(
+                    ticket, np.arange(len(s), dtype=np.int64), engine
+                )
+            else:
+                flags = self._index._flags()
+                shares = self._shard(case_codes(flags[s], flags[t]))
+                for w, share in zip(self._workers, shares):
+                    for start in range(0, len(share), self._slot_pairs):
+                        w.backlog.append(
+                            (
+                                ticket,
+                                share[start : start + self._slot_pairs],
+                                engine,
+                                0,
+                            )
                         )
-                    )
-                    ticket.remaining += 1
-                self._dispatch(w)
+                        ticket.remaining += 1
+                    self._dispatch(w)
         self.pairs_served += len(s)
-        while self._drain(block=False):  # opportunistic, non-blocking
-            pass
+        if not self._degraded:
+            while self._drain(block=False):  # opportunistic, non-blocking
+                pass
         return ticket.id
 
-    def collect(self, ticket_id: int) -> np.ndarray:
+    def collect(
+        self,
+        ticket_id: int,
+        *,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> np.ndarray:
         """Block until a ticket's shards are done; verdicts in input order.
 
         If any shard raised inside a worker, the ticket settles (its
         slots are recovered, the pool stays serviceable) and the worker's
-        traceback is re-raised here as :class:`RuntimeError`.
+        traceback is re-raised here as :class:`RuntimeError`.  An
+        unknown or already-collected id raises
+        :class:`UnknownTicketError`.
+
+        With a ``timeout`` / ``deadline`` (combined with any bound the
+        ticket carries from :meth:`submit`), a ticket that has not
+        settled by the bound raises :class:`QueryTimeout` — the ticket
+        stays collectable, its shards keep being served and supervised.
         """
         self._check_open()
         ticket = self._tickets.get(ticket_id)
         if ticket is None:
-            raise KeyError(f"unknown or already-collected ticket {ticket_id}")
+            raise UnknownTicketError(ticket_id)
+        bound = _merge_deadlines(
+            ticket.deadline, _resolve_deadline(timeout, deadline)
+        )
+        started = time.monotonic()
         while ticket.remaining:
-            self._drain(block=True)
+            if bound is None:
+                self._drain(block=True)
+                continue
+            now = time.monotonic()
+            if now >= bound:
+                self.timeouts += 1
+                raise QueryTimeout(ticket_id, now - started)
+            self._drain(block=True, wait=bound - now)
         del self._tickets[ticket_id]
         if ticket.error is not None:
             raise RuntimeError(
@@ -683,14 +991,24 @@ class QueryServer:
             )
         return ticket.out
 
-    def query_batch(self, pairs, *, engine: str | None = None) -> np.ndarray:
+    def query_batch(
+        self,
+        pairs,
+        *,
+        engine: str | None = None,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> np.ndarray:
         """Synchronous round-trip: ``collect(submit(pairs))``.
 
         Bit-identical to the in-process
         :meth:`~repro.core.kreach.KReachIndex.query_batch` on the same
-        file, for every engine and worker count.
+        file, for every engine and worker count.  ``timeout`` /
+        ``deadline`` bound the round-trip (:class:`QueryTimeout`).
         """
-        return self.collect(self.submit(pairs, engine=engine))
+        return self.collect(
+            self.submit(pairs, engine=engine, timeout=timeout, deadline=deadline)
+        )
 
     # ------------------------------------------------------------------
     # Introspection & shutdown
@@ -705,20 +1023,33 @@ class QueryServer:
         """The parent's zero-copy view of the served index (read-only use)."""
         return self._index
 
-    def stats(self) -> dict[str, int]:
-        """Counters: pairs served, outstanding tickets, worker restarts."""
+    def stats(self) -> dict:
+        """Counters plus pool health (``health`` / ``degraded``)."""
         return {
             "workers": len(self._workers),
             "pairs_served": self.pairs_served,
             "outstanding_tickets": len(self._tickets),
             "restarts": self.restarts,
+            "timeouts": self.timeouts,
+            "hangs": self.hangs,
+            "degraded": self._degraded,
+            "health": "degraded" if self._degraded else "ok",
         }
 
     def close(self) -> None:
-        """Stop every worker and release the control pipes.  Idempotent."""
+        """Stop every worker and release the control pipes.  Idempotent.
+
+        Escalates per worker: a stop sentinel and a bounded join first,
+        then ``terminate`` (SIGTERM), then ``kill`` (SIGKILL) — a hung
+        worker cannot leak past close.
+        """
         if self._closed:
             return
         self._closed = True
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2.0)
+            self._watchdog = None
         for w in self._workers:
             if w.process is None:
                 continue
@@ -727,10 +1058,7 @@ class QueryServer:
                     w.task_w.send(None)
                 except (OSError, ValueError):
                     pass
-            w.process.join(timeout=5)
-            if w.process.is_alive():
-                w.process.terminate()
-                w.process.join(timeout=5)
+            self._reap(w)
             for conn in (w.task_w, w.result_r):
                 if conn is not None:
                     try:
@@ -860,6 +1188,7 @@ class ThreadQueryServer:
         self._next_ticket = 0
         self._closed = False
         self.pairs_served = 0
+        self.timeouts = 0
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -890,6 +1219,11 @@ class ThreadQueryServer:
             ticket, positions, eng = task
             error = None
             try:
+                # Only the hang site fires here: thread workers share the
+                # test process, so an injected os._exit would kill it —
+                # worker_exit chaos belongs to the process pool.
+                if faults.ENABLED:
+                    faults.fire("serve.worker_hang")
                 self._ensure_prepared()
                 pairs = np.column_stack(
                     (ticket.s[positions], ticket.t[positions])
@@ -915,18 +1249,29 @@ class ThreadQueryServer:
     # ------------------------------------------------------------------
     # Query API
     # ------------------------------------------------------------------
-    def submit(self, pairs, *, engine: str | None = None) -> int:
+    def submit(
+        self,
+        pairs,
+        *,
+        engine: str | None = None,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> int:
         """Enqueue a batch; returns a ticket for :meth:`collect`.
 
         The batch is validated, pre-split by case code, and queued in
         shard-sized position chunks; worker threads start on it
         immediately, so further :meth:`submit` calls pipeline.
+        ``timeout`` / ``deadline`` attach a bound every later
+        ``collect`` honors (see :class:`QueryTimeout`).
         """
         self._check_open()
         if engine is not None and engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         s, t = as_pair_arrays(pairs, self._n)
-        ticket = _Ticket(self._next_ticket, s, t)
+        ticket = _Ticket(
+            self._next_ticket, s, t, _resolve_deadline(timeout, deadline)
+        )
         self._next_ticket += 1
         self._tickets[ticket.id] = ticket
         if len(s):
@@ -948,20 +1293,41 @@ class ThreadQueryServer:
         self.pairs_served += len(s)
         return ticket.id
 
-    def collect(self, ticket_id: int) -> np.ndarray:
+    def collect(
+        self,
+        ticket_id: int,
+        *,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> np.ndarray:
         """Block until a ticket's shards are done; verdicts in input order.
 
         If any shard raised in a worker thread, the ticket settles (the
         pool stays serviceable) and the traceback is re-raised here as
-        :class:`RuntimeError`.
+        :class:`RuntimeError`.  An unknown or already-collected id
+        raises :class:`UnknownTicketError`; a missed ``timeout`` /
+        ``deadline`` bound (combined with any bound from
+        :meth:`submit`) raises :class:`QueryTimeout` and leaves the
+        ticket collectable.
         """
         self._check_open()
         ticket = self._tickets.get(ticket_id)
         if ticket is None:
-            raise KeyError(f"unknown or already-collected ticket {ticket_id}")
+            raise UnknownTicketError(ticket_id)
+        bound = _merge_deadlines(
+            ticket.deadline, _resolve_deadline(timeout, deadline)
+        )
+        started = time.monotonic()
         with self._cond:
             while ticket.remaining:
-                self._cond.wait()
+                if bound is None:
+                    self._cond.wait()
+                    continue
+                now = time.monotonic()
+                if now >= bound:
+                    self.timeouts += 1
+                    raise QueryTimeout(ticket_id, now - started)
+                self._cond.wait(timeout=bound - now)
         del self._tickets[ticket_id]
         if ticket.error is not None:
             raise RuntimeError(
@@ -970,14 +1336,24 @@ class ThreadQueryServer:
             )
         return ticket.out
 
-    def query_batch(self, pairs, *, engine: str | None = None) -> np.ndarray:
+    def query_batch(
+        self,
+        pairs,
+        *,
+        engine: str | None = None,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> np.ndarray:
         """Synchronous round-trip: ``collect(submit(pairs))``.
 
         Bit-identical to the in-process
         :meth:`~repro.core.kreach.KReachIndex.query_batch` on the same
-        file, for every engine and worker count.
+        file, for every engine and worker count.  ``timeout`` /
+        ``deadline`` bound the round-trip (:class:`QueryTimeout`).
         """
-        return self.collect(self.submit(pairs, engine=engine))
+        return self.collect(
+            self.submit(pairs, engine=engine, timeout=timeout, deadline=deadline)
+        )
 
     # ------------------------------------------------------------------
     # Introspection & shutdown
@@ -992,13 +1368,16 @@ class ThreadQueryServer:
         """The shared mmap'd index every worker thread queries."""
         return self._index
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict:
         """Counters: pairs served, outstanding tickets, kernel budget."""
         return {
             "workers": len(self._threads),
             "pairs_served": self.pairs_served,
             "outstanding_tickets": len(self._tickets),
             "kernel_threads": self.kernel_threads,
+            "timeouts": self.timeouts,
+            "degraded": False,  # threads share our fate: no degraded mode
+            "health": "ok",
         }
 
     def close(self) -> None:

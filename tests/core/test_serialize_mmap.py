@@ -13,6 +13,7 @@ The contract under test (see ``repro/core/serialize.py``):
 """
 
 import json
+import zlib
 
 import numpy as np
 import pytest
@@ -138,14 +139,16 @@ class TestCrossVersion:
 
 
 def tampered_header(path, out_path, mutate):
-    """Rewrite a v4 file with its JSON header transformed by ``mutate``.
+    """Rewrite a v5 file with its JSON header transformed by ``mutate``.
 
     Section offsets are relative to the aligned payload base, so the
     payload bytes are copied verbatim behind the (possibly resized)
-    header and remain addressable.
+    header and remain addressable.  The prologue's header CRC is
+    recomputed — these tests target the *structural* checks, not the
+    checksum, which gets its own tests.
     """
     raw = path.read_bytes()
-    hlen = int.from_bytes(raw[8:_MMAP_PROLOGUE], "little")
+    hlen = int.from_bytes(raw[8:16], "little")
     header = json.loads(raw[_MMAP_PROLOGUE : _MMAP_PROLOGUE + hlen])
     mutate(header)
     blob = json.dumps(header, separators=(",", ":")).encode()
@@ -154,6 +157,7 @@ def tampered_header(path, out_path, mutate):
     out_path.write_bytes(
         raw[:8]
         + len(blob).to_bytes(8, "little")
+        + zlib.crc32(blob).to_bytes(4, "little")
         + blob
         + b"\x00" * (new_base - _MMAP_PROLOGUE - len(blob))
         + raw[old_base:]
@@ -194,7 +198,9 @@ class TestCorruption:
         raw[_MMAP_PROLOGUE : _MMAP_PROLOGUE + hlen] = b"{" * hlen
         bad = tmp_path / "json.kr4"
         bad.write_bytes(bytes(raw))
-        with pytest.raises(ValueError, match="not valid JSON"):
+        # Garbled header bytes are caught by the always-on header CRC
+        # before the JSON parser ever sees them.
+        with pytest.raises(ValueError, match="header checksum"):
             load_mmap(bad)
 
     def test_unsupported_version(self, tmp_path, path):
