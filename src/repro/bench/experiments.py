@@ -70,6 +70,7 @@ __all__ = [
     "run_throughput",
     "run_dynamic",
     "run_serve",
+    "run_shard",
     "run_native",
     "run_ablation_covers",
     "run_ablation_general_k",
@@ -1326,6 +1327,129 @@ def run_ablation_compression(config: SuiteConfig) -> Table:
 
 
 #: CLI name -> callable; each returns a Table or tuple of Tables.
+def run_shard(config: SuiteConfig) -> Table:
+    """The sharded serving tier: scatter-gather throughput vs one pool.
+
+    Serves the ROADMAP's "sharded scatter-gather" milestone.  Every
+    dataset's 6-reach index is hub-aware partitioned
+    (:func:`~repro.core.partition.partition_kreach`) into 1- and
+    2-shard manifests; one big random batch then runs through the
+    in-process engine and through
+    :class:`~repro.core.sharded.ShardedQueryServer` at both shard
+    counts (process pools, one worker per shard — total parallelism =
+    the shard count).  Every served verdict is checked bit-for-bit
+    against the in-process reference ("agree"), so the benchmark
+    doubles as a live differential test.  CI gates the TOTAL row:
+    agree must hold and 2-shard throughput must be no worse than
+    1-shard beyond scheduler-noise tolerance (a 1-core runner cannot
+    show a 2-shard speedup; a multi-core one can — the acceptance
+    target there is ≥ 1.5x).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.partition import partition_kreach
+    from repro.core.serialize import save_sharded
+    from repro.core.sharded import ShardedQueryServer
+
+    k = 6
+    shard_counts = (1, 2)
+    n_pairs = 4 * config.queries
+    reps = max(2, config.repeat)
+    shard_cols = [f"shard@{c} ms" for c in shard_counts]
+    table = Table(
+        f"Shard — scatter-gather serving throughput (scale={config.scale}, "
+        f"k={k}, {n_pairs} pairs per row, 1 worker per shard)",
+        ["dataset", "pairs", "|B|", "cross", "part ms", "mani MB",
+         "inproc ms", *shard_cols, "speedup", "agree"],
+        caption=(
+            "|B| = replicated boundary (hub) vertices; cross = pairs "
+            "stitched through the boundary portal tables instead of a "
+            "single shard; part ms = partition + manifest save; "
+            "shard@N = the batch through a ShardedQueryServer over an "
+            "N-shard manifest (process pool per shard); speedup = "
+            "shard@1 / shard@2; agree = every served verdict "
+            "bit-identical to the in-process global index.  TOTAL sums "
+            "milliseconds; CI gates agree and shard@2 <= 1.25x shard@1 "
+            "on it."
+        ),
+    )
+    totals: dict[object, float] = {"inproc": 0.0}
+    totals.update({c: 0.0 for c in shard_counts})
+    all_agree = True
+    rng = np.random.default_rng(config.seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in config.datasets:
+            g = config.graph(name)
+            idx = KReachIndex(g, k).prepare_batch()
+            pairs = random_pairs(g.n, n_pairs, rng=rng)
+
+            def best_of(fn):
+                result, first_s = timed(fn)
+                best = min(
+                    [first_s] + [timed(fn)[1] for _ in range(reps - 1)]
+                )
+                return result, best
+
+            reference, inproc_s = best_of(lambda: idx.query_batch(pairs))
+            totals["inproc"] += inproc_s
+            row: dict[str, object] = {
+                "dataset": name,
+                "pairs": len(pairs),
+                "inproc ms": 1e3 * inproc_s,
+            }
+            agree = True
+            part_s = 0.0
+            shard_times: dict[int, float] = {}
+            for count in shard_counts:
+                directory = Path(tmp) / f"{name}-{count}"
+                sharded, one_part_s = timed(
+                    lambda: save_sharded(
+                        partition_kreach(g, k, count), directory
+                    )
+                )
+                part_s += one_part_s
+                if count == max(shard_counts):
+                    sk = partition_kreach(g, k, count)
+                    s64 = pairs[:, 0].astype(np.int64)
+                    t64 = pairs[:, 1].astype(np.int64)
+                    row["|B|"] = len(sk.boundary)
+                    row["cross"] = int((sk.route(s64, t64) < 0).sum())
+                    row["mani MB"] = fmt_mb(
+                        sum(f.stat().st_size for f in directory.iterdir())
+                    )
+                with ShardedQueryServer(
+                    directory, workers=1, backend="process"
+                ) as server:
+                    server.query_batch(pairs[:1024])  # warm the pools
+                    served, served_s = best_of(
+                        lambda: server.query_batch(pairs)
+                    )
+                    agree &= bool(np.array_equal(served, reference))
+                    shard_times[count] = served_s
+                    totals[count] += served_s
+                    row[f"shard@{count} ms"] = 1e3 * served_s
+            row["part ms"] = 1e3 * part_s
+            row["speedup"] = (
+                f"{shard_times[shard_counts[0]] / max(shard_times[shard_counts[-1]], 1e-9):.2f}x"
+            )
+            all_agree &= agree
+            row["agree"] = "yes" if agree else "NO"
+            table.add_row(row)
+    total_row: dict[str, object] = {
+        "dataset": "TOTAL",
+        "inproc ms": 1e3 * totals["inproc"],
+        "speedup": (
+            f"{totals[shard_counts[0]] / max(totals[shard_counts[-1]], 1e-9):.2f}x"
+        ),
+        "agree": "yes" if all_agree else "NO",
+    }
+    for count in shard_counts:
+        total_row[f"shard@{count} ms"] = 1e3 * totals[count]
+    table.add_row(total_row)
+    return table
+
+
 ALL_EXPERIMENTS = {
     "build": run_build,
     "table2": run_table2,
@@ -1337,6 +1461,7 @@ ALL_EXPERIMENTS = {
     "throughput": run_throughput,
     "dynamic": run_dynamic,
     "serve": run_serve,
+    "shard": run_shard,
     "native": run_native,
     "ablation-covers": run_ablation_covers,
     "ablation-general-k": run_ablation_general_k,

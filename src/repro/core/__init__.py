@@ -16,19 +16,28 @@ from repro.core.index_graph import (
 )
 from repro.core.kreach import KReachIndex
 from repro.core.parallel import build_kreach_parallel, parallel_khop_triples
+from repro.core.partition import (
+    Shard,
+    ShardedKReach,
+    default_hub_count,
+    partition_kreach,
+)
 from repro.core.rowstore import CompressedRow, compress_rows
 from repro.core.serialize import (
     IndexCorruptionError,
     OpLog,
+    ShardManifest,
     load_dynamic,
     load_kreach,
     load_mmap,
+    load_sharded,
     read_oplog,
     recover_dynamic,
     recover_oplog,
     save_dynamic,
     save_kreach,
     save_mmap,
+    save_sharded,
     verify_file,
 )
 from repro.core.serve import (
@@ -37,6 +46,7 @@ from repro.core.serve import (
     ThreadQueryServer,
     UnknownTicketError,
 )
+from repro.core.sharded import ShardedQueryServer
 from repro.core.vertex_cover import (
     COVER_STRATEGIES,
     cover_from_strategy,
@@ -64,6 +74,9 @@ __all__ = [
     "load_dynamic",
     "save_mmap",
     "load_mmap",
+    "save_sharded",
+    "load_sharded",
+    "ShardManifest",
     "IndexCorruptionError",
     "OpLog",
     "read_oplog",
@@ -74,6 +87,11 @@ __all__ = [
     "ThreadQueryServer",
     "QueryTimeout",
     "UnknownTicketError",
+    "ShardedQueryServer",
+    "ShardedKReach",
+    "Shard",
+    "partition_kreach",
+    "default_hub_count",
     "CoverDistanceOracle",
     "GeometricKReachFamily",
     "ExactKFamily",

@@ -66,10 +66,12 @@ never does.  :func:`recover_dynamic` = base snapshot + journal replay.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import struct
 import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 from zipfile import BadZipFile
 
@@ -95,6 +97,9 @@ __all__ = [
     "read_oplog",
     "recover_oplog",
     "recover_dynamic",
+    "save_sharded",
+    "load_sharded",
+    "ShardManifest",
     "verify_file",
 ]
 
@@ -1189,23 +1194,314 @@ def verify_file(path: str | os.PathLike) -> dict:
         "detail": "",
         "ok": False,
     }
-    try:
-        with open(path, "rb") as fh:
-            magic = fh.read(8)
-    except OSError as exc:
-        report["detail"] = f"unreadable: {exc}"
-        return report
-    if magic in (_MMAP_MAGIC, _MMAP_MAGIC_V4):
-        _audit_mmap(path, report)
-    elif magic[:2] == b"PK":
-        _audit_npz(path, report)
-    elif magic == _OPLOG_MAGIC:
-        _audit_oplog(path, report)
+    if path.is_dir():  # a sharded-manifest directory
+        if (path / _SHARD_MANIFEST_NAME).exists():
+            _audit_sharded(path, report)
+        else:
+            report["detail"] = (
+                f"directory without a {_SHARD_MANIFEST_NAME}"
+            )
+            return report
     else:
-        report["detail"] = "not a k-reach index, dump, or op log"
-        return report
+        try:
+            with open(path, "rb") as fh:
+                magic = fh.read(8)
+        except OSError as exc:
+            report["detail"] = f"unreadable: {exc}"
+            return report
+        if magic in (_MMAP_MAGIC, _MMAP_MAGIC_V4):
+            _audit_mmap(path, report)
+        elif magic[:2] == b"PK":
+            _audit_npz(path, report)
+        elif magic == _OPLOG_MAGIC:
+            _audit_oplog(path, report)
+        elif magic[:1] == b"{" and path.name == _SHARD_MANIFEST_NAME:
+            _audit_sharded(path.parent, report)
+        else:
+            report["detail"] = "not a k-reach index, dump, or op log"
+            return report
     bad_statuses = {"mismatch", "truncated", "malformed"}
     report["ok"] = not report["detail"] and bool(report["sections"]) and not any(
         row["status"] in bad_statuses for row in report["sections"]
     )
     return report
+
+
+# ---------------------------------------------------------------------------
+# Sharded manifest (directory of per-shard v5 files + boundary index)
+# ---------------------------------------------------------------------------
+
+#: Sharded-manifest directory format: ``manifest.json`` + N per-shard v5
+#: index files + the routing/boundary arrays, each independently
+#: loadable and individually CRC32'd by the manifest.
+_SHARD_FORMAT = "kreach-shards"
+_SHARD_FORMAT_VERSION = 1
+_SHARD_MANIFEST_NAME = "manifest.json"
+
+
+def _npy_payload(arr: np.ndarray) -> bytes:
+    """An array serialized in ``.npy`` v1 format, in memory (for CRCs)."""
+    buf = io.BytesIO()
+    np.lib.format.write_array(buf, np.ascontiguousarray(arr), version=(1, 0))
+    return buf.getvalue()
+
+
+def _file_crc32(path: Path) -> tuple[int, int]:
+    """Streamed ``(crc32, size)`` of an on-disk file."""
+    crc = 0
+    size = 0
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(1 << 20)
+            if not chunk:
+                return crc, size
+            crc = zlib.crc32(chunk, crc)
+            size += len(chunk)
+
+
+def _manifest_digest(payload: dict) -> int:
+    """CRC32 of the manifest's canonical JSON, ``crc32`` field excluded."""
+    body = {key: value for key, value in payload.items() if key != "crc32"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def shard_index_name(shard: int) -> str:
+    """File name of shard ``shard``'s v5 index inside a manifest dir."""
+    return f"shard-{shard:03d}.kr5"
+
+
+@dataclass
+class ShardManifest:
+    """A loaded sharded-manifest directory.
+
+    ``indexes[i]`` is shard ``i``'s :class:`KReachIndex` (each opened
+    zero-copy via :func:`load_mmap` from ``shard_paths[i]``); the
+    routing arrays (``boundary``, ``shard_of``, ``closure``) and the
+    per-shard portal tables are ``.npy``-memory-mapped.  Feed the whole
+    object to
+    :meth:`repro.core.partition.ShardedKReach.from_manifest`.
+    """
+
+    directory: Path
+    k: int | None
+    n: int
+    num_shards: int
+    boundary: np.ndarray
+    shard_of: np.ndarray
+    closure: np.ndarray
+    shard_paths: list[Path]
+    indexes: list[KReachIndex]
+    vertex_maps: list[np.ndarray]
+    entries: list[np.ndarray]
+    exit_closures: list[np.ndarray]
+    meta: dict = field(default_factory=dict)
+
+
+def save_sharded(sharded, directory: str | os.PathLike) -> Path:
+    """Persist a :class:`~repro.core.partition.ShardedKReach` to a directory.
+
+    Layout: one ``manifest.json`` (atomic-written, carrying a CRC32 of
+    its own canonical body plus per-file byte counts and CRC32s), N
+    ``shard-%03d.kr5`` v5 files — each independently
+    :func:`load_mmap`-able — and ``.npy`` routing/portal arrays.  Every
+    file is written through the same temp+fsync+rename discipline as
+    v5, and the manifest is written **last**, so a crash mid-save never
+    leaves a manifest naming files that do not match it.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    files: dict[str, dict] = {}
+
+    def put_npy(name: str, arr: np.ndarray, role: str, shard: int | None) -> None:
+        payload = _npy_payload(arr)
+        _atomic_write(directory / name, lambda fh: fh.write(payload))
+        files[name] = {
+            "bytes": len(payload),
+            "crc32": zlib.crc32(payload),
+            "role": role,
+            "shard": shard,
+        }
+
+    put_npy("boundary.npy", np.asarray(sharded.boundary, np.int64), "boundary", None)
+    put_npy("shard_of.npy", np.asarray(sharded.shard_of, np.int64), "shard_of", None)
+    put_npy("closure.npy", np.asarray(sharded.closure, np.int32), "closure", None)
+    for i, shard in enumerate(sharded.shards):
+        index_name = shard_index_name(i)
+        save_mmap(shard.index, directory / index_name)
+        crc, size = _file_crc32(directory / index_name)
+        files[index_name] = {
+            "bytes": size,
+            "crc32": crc,
+            "role": "index",
+            "shard": i,
+        }
+        put_npy(f"vmap-{i:03d}.npy", np.asarray(shard.vertex_map, np.int64),
+                "vertex_map", i)
+        put_npy(f"entry-{i:03d}.npy", np.asarray(shard.entry, np.int32),
+                "entry", i)
+        put_npy(f"exitc-{i:03d}.npy", np.asarray(shard.exit_closure, np.int32),
+                "exit_closure", i)
+
+    manifest = {
+        "format": _SHARD_FORMAT,
+        "format_version": _SHARD_FORMAT_VERSION,
+        "k": _K_UNBOUNDED if sharded.k is None else int(sharded.k),
+        "n": int(sharded.n),
+        "num_shards": int(sharded.num_shards),
+        "boundary_size": int(len(sharded.boundary)),
+        "files": files,
+    }
+    manifest["crc32"] = _manifest_digest(manifest)
+    blob = json.dumps(manifest, indent=1, sort_keys=True).encode("utf-8")
+    _atomic_write(directory / _SHARD_MANIFEST_NAME, lambda fh: fh.write(blob))
+    return directory
+
+
+def _read_manifest(directory: Path) -> dict:
+    manifest_path = directory / _SHARD_MANIFEST_NAME
+    try:
+        with open(manifest_path, "rb") as fh:
+            manifest = json.loads(fh.read().decode("utf-8"))
+    except OSError as exc:
+        raise IndexCorruptionError(
+            f"unreadable sharded manifest: {exc}", path=manifest_path
+        ) from exc
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise IndexCorruptionError(
+            f"malformed sharded manifest: {exc}", path=manifest_path
+        ) from exc
+    if manifest.get("format") != _SHARD_FORMAT:
+        raise IndexCorruptionError(
+            f"not a {_SHARD_FORMAT} manifest", path=manifest_path
+        )
+    if manifest.get("format_version") != _SHARD_FORMAT_VERSION:
+        raise IndexCorruptionError(
+            f"unsupported manifest version {manifest.get('format_version')!r}",
+            path=manifest_path,
+        )
+    if _manifest_digest(manifest) != manifest.get("crc32"):
+        raise IndexCorruptionError(
+            "manifest CRC32 mismatch", path=manifest_path, section="manifest"
+        )
+    return manifest
+
+
+def load_sharded(
+    directory: str | os.PathLike,
+    *,
+    mode: str = "r",
+    verify: bool = False,
+) -> ShardManifest:
+    """Open a :func:`save_sharded` directory; every shard zero-copy.
+
+    ``verify=True`` additionally CRC32-checks every listed file against
+    the manifest (O(bytes) — opt in; the default only validates the
+    manifest's own checksum and each file's presence and size).  A
+    missing, resized, or corrupt file raises
+    :class:`IndexCorruptionError` naming it.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    for name, entry in manifest["files"].items():
+        path = directory / name
+        try:
+            size = path.stat().st_size
+        except OSError as exc:
+            raise IndexCorruptionError(
+                f"missing shard file: {exc}", path=path
+            ) from exc
+        if size != entry["bytes"]:
+            raise IndexCorruptionError(
+                f"size mismatch: manifest says {entry['bytes']} B, "
+                f"found {size} B",
+                path=path,
+                section=name,
+            )
+        if verify:
+            crc, _ = _file_crc32(path)
+            if crc != entry["crc32"]:
+                raise IndexCorruptionError(
+                    "file CRC32 mismatch", path=path, section=name
+                )
+
+    def load_npy(name: str) -> np.ndarray:
+        return np.load(directory / name, mmap_mode="r")
+
+    num_shards = int(manifest["num_shards"])
+    stored_k = int(manifest["k"])
+    shard_paths = [directory / shard_index_name(i) for i in range(num_shards)]
+    return ShardManifest(
+        directory=directory,
+        k=None if stored_k == _K_UNBOUNDED else stored_k,
+        n=int(manifest["n"]),
+        num_shards=num_shards,
+        boundary=load_npy("boundary.npy"),
+        shard_of=load_npy("shard_of.npy"),
+        closure=load_npy("closure.npy"),
+        shard_paths=shard_paths,
+        indexes=[load_mmap(path, mode=mode) for path in shard_paths],
+        vertex_maps=[load_npy(f"vmap-{i:03d}.npy") for i in range(num_shards)],
+        entries=[load_npy(f"entry-{i:03d}.npy") for i in range(num_shards)],
+        exit_closures=[
+            load_npy(f"exitc-{i:03d}.npy") for i in range(num_shards)
+        ],
+        meta=manifest,
+    )
+
+
+def _audit_sharded(directory: Path, report: dict) -> None:
+    """Per-file CRC audit of a sharded manifest directory."""
+    report["format"] = f"{_SHARD_FORMAT}(v{_SHARD_FORMAT_VERSION})"
+    manifest_path = directory / _SHARD_MANIFEST_NAME
+    try:
+        with open(manifest_path, "rb") as fh:
+            blob = fh.read()
+        manifest = json.loads(blob.decode("utf-8"))
+        stored = int(manifest.get("crc32", -1))
+        computed = _manifest_digest(manifest)
+        wrong_shape = (
+            manifest.get("format") != _SHARD_FORMAT
+            or manifest.get("format_version") != _SHARD_FORMAT_VERSION
+        )
+    except OSError as exc:
+        report["detail"] = f"unreadable manifest: {exc}"
+        return
+    except (ValueError, UnicodeDecodeError, TypeError):
+        report["sections"].append(
+            {"name": "manifest.json", "bytes": len(blob), "status": "malformed"}
+        )
+        return
+    if wrong_shape:
+        report["sections"].append(
+            {"name": "manifest.json", "bytes": len(blob), "status": "malformed"}
+        )
+        return
+    report["sections"].append(
+        {
+            "name": "manifest.json",
+            "bytes": len(blob),
+            "stored": stored,
+            "computed": computed,
+            "status": "ok" if stored == computed else "mismatch",
+        }
+    )
+    for name, entry in manifest.get("files", {}).items():
+        path = directory / name
+        row = {"name": name, "bytes": int(entry["bytes"])}
+        try:
+            size = path.stat().st_size
+        except OSError:
+            row["status"] = "truncated"  # listed in the manifest, not on disk
+            report["sections"].append(row)
+            continue
+        if size != entry["bytes"]:
+            row["bytes"] = size
+            row["status"] = "truncated"
+            report["sections"].append(row)
+            continue
+        crc, _ = _file_crc32(path)
+        row["stored"] = int(entry["crc32"])
+        row["computed"] = crc
+        row["status"] = "ok" if crc == int(entry["crc32"]) else "mismatch"
+        report["sections"].append(row)

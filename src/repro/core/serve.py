@@ -324,6 +324,7 @@ class _Worker:
         "reviving",
         "last_beat",
         "strikes",
+        "restarts",
     )
 
     def __init__(self, worker_id: int, slots: int, slot_pairs: int) -> None:
@@ -354,6 +355,7 @@ class _Worker:
         self.reviving = False
         self.last_beat = 0.0  # monotonic time of the latest heartbeat
         self.strikes = 0  # consecutive revivals without a completed shard
+        self.restarts = 0  # lifetime revivals of this worker slot
 
 
 class QueryServer:
@@ -690,6 +692,7 @@ class QueryServer:
         self._reap(w)
         self.restarts += 1
         w.strikes += 1
+        w.restarts += 1
         w.reviving = True
         try:
             # Settle whatever the old generation already delivered before
@@ -1030,6 +1033,7 @@ class QueryServer:
             "pairs_served": self.pairs_served,
             "outstanding_tickets": len(self._tickets),
             "restarts": self.restarts,
+            "worker_restarts": [w.restarts for w in self._workers],
             "timeouts": self.timeouts,
             "hangs": self.hangs,
             "degraded": self._degraded,
@@ -1375,6 +1379,8 @@ class ThreadQueryServer:
             "pairs_served": self.pairs_served,
             "outstanding_tickets": len(self._tickets),
             "kernel_threads": self.kernel_threads,
+            "restarts": 0,  # threads are never respawned
+            "worker_restarts": [0] * len(self._threads),
             "timeouts": self.timeouts,
             "degraded": False,  # threads share our fate: no degraded mode
             "health": "ok",

@@ -1,0 +1,9 @@
+"""Network-facing serving layer (asyncio front door over the pools)."""
+
+from repro.serve.frontdoor import (
+    FrontDoor,
+    FrontDoorOverloaded,
+    http_request,
+)
+
+__all__ = ["FrontDoor", "FrontDoorOverloaded", "http_request"]

@@ -1,0 +1,274 @@
+"""Async front-door suite.
+
+Pins the batching front end's contract: many concurrent clients get
+bit-exact verdicts through micro-batched pool queries, the LRU cache
+serves repeats and invalidates on churn, admission control sheds load
+instead of queueing without bound, the HTTP surface exposes
+``/healthz`` + ``/metrics``, and a worker SIGKILL injected through the
+faults registry never produces a wrong or dropped verdict.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core.kreach import KReachIndex
+from repro.core.partition import partition_kreach
+from repro.core.serialize import save_mmap, save_sharded
+from repro.core.serve import ThreadQueryServer
+from repro.core.sharded import ShardedQueryServer
+from repro.graph.generators import gnp_digraph
+from repro.serve import FrontDoor, FrontDoorOverloaded, http_request
+from repro.workloads import random_pairs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_digraph(80, 0.05, seed=21)
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    return KReachIndex(graph, 6).prepare_batch()
+
+
+@pytest.fixture(scope="module")
+def manifest(graph, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("door") / "m2"
+    save_sharded(partition_kreach(graph, 6, 2), directory)
+    return directory
+
+
+class TestBatching:
+    def test_64_concurrent_clients_agree(self, graph, reference, manifest):
+        async def scenario():
+            with ShardedQueryServer(manifest, backend="thread") as server:
+                async with FrontDoor(
+                    server, window_ms=3, max_batch=2048, cache_pairs=4096
+                ) as door:
+                    async def client(cid):
+                        rng = np.random.default_rng(cid)
+                        ok = True
+                        for _ in range(4):
+                            p = rng.integers(0, graph.n, size=(16, 2))
+                            got = await door.query(p.tolist())
+                            ok &= got == reference.query_batch(p).tolist()
+                        return ok
+                    results = await asyncio.gather(
+                        *[client(i) for i in range(64)]
+                    )
+                    metrics = door.metrics()
+            return results, metrics
+
+        results, metrics = asyncio.run(scenario())
+        assert all(results)
+        assert metrics["requests"] == 256
+        # Micro-batching actually aggregated: far fewer flushes than
+        # requests, and multi-request batches on average.
+        assert metrics["batches"] < metrics["requests"]
+        assert metrics["mean_batch_pairs"] > 16
+        assert metrics["latency_ms"]["p50"] is not None
+        assert metrics["latency_ms"]["p99"] >= metrics["latency_ms"]["p50"]
+
+    def test_max_batch_forces_flush(self, graph, reference):
+        async def scenario():
+            class CountingServer:
+                def __init__(self):
+                    self.batches = []
+
+                def query_batch(self, pairs, engine=None):
+                    self.batches.append(len(pairs))
+                    return reference.query_batch(pairs)
+
+                def stats(self):
+                    return {"health": "ok"}
+
+            spy = CountingServer()
+            async with FrontDoor(
+                spy, window_ms=200, max_batch=64, cache_pairs=0
+            ) as door:
+                pairs = np.stack(
+                    [np.arange(64), np.roll(np.arange(64), 1)], axis=1
+                )
+                waiters = [
+                    door.query(pairs[i : i + 16].tolist())
+                    for i in range(0, 64, 16)
+                ]
+                await asyncio.gather(*waiters)
+            return spy.batches
+
+        batches = asyncio.run(scenario())
+        # 64 pairs hit max_batch=64 well before the 200ms window closes.
+        assert sum(batches) == 64 and len(batches) <= 2
+
+
+class TestCache:
+    def test_hot_pairs_served_from_cache(self, graph, reference):
+        async def scenario():
+            calls = []
+
+            class SpyServer:
+                def query_batch(self, pairs, engine=None):
+                    calls.append(len(pairs))
+                    return reference.query_batch(pairs)
+
+                def stats(self):
+                    return {"health": "ok"}
+
+            async with FrontDoor(
+                SpyServer(), window_ms=0, cache_pairs=1024
+            ) as door:
+                hot = [[0, 5], [5, 9], [9, 0]]
+                first = await door.query(hot)
+                second = await door.query(hot)
+                metrics = door.metrics()
+                # Churn: invalidation empties the cache and misses again.
+                door.invalidate_cache()
+                third = await door.query(hot)
+            return first, second, third, calls, metrics
+
+        first, second, third, calls, metrics = asyncio.run(scenario())
+        assert first == second == third
+        assert first == reference.query_batch(np.array([[0, 5], [5, 9], [9, 0]])).tolist()
+        assert calls == [3, 3]  # second round never reached the pool
+        assert metrics["cache"]["hits"] == 3
+        assert metrics["cache"]["hit_rate"] == 0.5
+
+    def test_lru_eviction_bounds_entries(self, graph, reference):
+        async def scenario():
+            class Srv:
+                def query_batch(self, pairs, engine=None):
+                    return reference.query_batch(pairs)
+
+                def stats(self):
+                    return {"health": "ok"}
+
+            async with FrontDoor(Srv(), window_ms=0, cache_pairs=8) as door:
+                for i in range(40):
+                    await door.query([[i % graph.n, (i + 1) % graph.n]])
+                return door.metrics()["cache"]["entries"]
+
+        assert asyncio.run(scenario()) <= 8
+
+
+class TestAdmission:
+    def test_backlog_sheds_load(self, graph, reference):
+        async def scenario():
+            started = asyncio.Event()
+
+            class SlowServer:
+                def query_batch(self, pairs, engine=None):
+                    import time as _time
+
+                    _time.sleep(0.2)
+                    return reference.query_batch(pairs)
+
+                def stats(self):
+                    return {"health": "ok"}
+
+            door = FrontDoor(
+                SlowServer(), window_ms=0, max_batch=4, cache_pairs=0,
+                max_backlog=8,
+            )
+            async with door:
+                big = np.stack(
+                    [np.arange(8), np.roll(np.arange(8), 1)], axis=1
+                ).tolist()
+                first = asyncio.ensure_future(door.query(big))
+                await asyncio.sleep(0.05)  # batcher now owns 8 pairs
+                with pytest.raises(FrontDoorOverloaded):
+                    await door.query([[1, 2]])
+                verdicts = await first
+                rejects = door.admission_rejects
+            return verdicts, rejects
+
+        verdicts, rejects = asyncio.run(scenario())
+        assert len(verdicts) == 8 and rejects == 1
+
+
+class TestHttp:
+    def test_routes(self, graph, reference, manifest):
+        async def scenario():
+            with ShardedQueryServer(manifest, backend="thread") as server:
+                door = FrontDoor(server, window_ms=1)
+                host, port = await door.start_http()
+                pairs = [[0, 5], [5, 9]]
+                status, body = await http_request(
+                    host, port, "POST", "/query", {"pairs": pairs}
+                )
+                hz = await http_request(host, port, "GET", "/healthz")
+                mt = await http_request(host, port, "GET", "/metrics")
+                bad = await http_request(
+                    host, port, "POST", "/query", {"wrong": 1}
+                )
+                lost = await http_request(host, port, "GET", "/nope")
+                await door.close()
+            return status, body, hz, mt, bad, lost
+
+        status, body, hz, mt, bad, lost = asyncio.run(scenario())
+        assert status == 200
+        assert body["verdicts"] == reference.query_batch(
+            np.array([[0, 5], [5, 9]])
+        ).tolist()
+        assert hz[0] == 200 and hz[1]["status"] == "ok"
+        assert mt[0] == 200 and mt[1]["server"]["health"] == "ok"
+        assert "worker_restarts" in mt[1]["server"]["shards"][0]
+        assert bad[0] == 400
+        assert lost[0] == 404
+
+    def test_query_validation_is_400(self, reference):
+        async def scenario():
+            class Srv:
+                def query_batch(self, pairs, engine=None):
+                    return reference.query_batch(pairs)
+
+                def stats(self):
+                    return {"health": "ok"}
+
+            door = FrontDoor(Srv(), window_ms=0)
+            host, port = await door.start_http()
+            oob = await http_request(
+                host, port, "POST", "/query", {"pairs": [[0, 10**9]]}
+            )
+            await door.close()
+            return oob
+
+        status, body = asyncio.run(scenario())
+        assert status == 400 and "error" in body
+
+
+class TestFaults:
+    def test_worker_sigkill_no_wrong_or_dropped_verdicts(
+        self, tmp_path, graph, reference, manifest
+    ):
+        """SIGKILL a shard worker (faults registry) under live traffic."""
+
+        async def scenario():
+            with faults.inject(
+                "serve.worker_exit", "exit", token=str(tmp_path / "tok")
+            ):
+                with ShardedQueryServer(
+                    manifest,
+                    workers=1,
+                    backend="process",
+                    server_kwargs={"slot_pairs": 256},
+                ) as server:
+                    async with FrontDoor(
+                        server, window_ms=2, cache_pairs=0
+                    ) as door:
+                        async def client(cid):
+                            rng = np.random.default_rng(100 + cid)
+                            p = rng.integers(0, graph.n, size=(64, 2))
+                            got = await door.query(p.tolist())
+                            return got == reference.query_batch(p).tolist()
+
+                        results = await asyncio.gather(
+                            *[client(i) for i in range(16)]
+                        )
+                    restarts = server.stats()["restarts"]
+            return results, restarts
+
+        results, restarts = asyncio.run(scenario())
+        assert all(results)  # every verdict delivered, none wrong
