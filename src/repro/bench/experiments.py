@@ -72,6 +72,8 @@ __all__ = [
     "run_serve",
     "run_shard",
     "run_native",
+    "run_ingest",
+    "run_size",
     "run_ablation_covers",
     "run_ablation_general_k",
     "run_ablation_case_cost",
@@ -99,6 +101,9 @@ class SuiteConfig:
     engine: str = "auto"  # query engine for the k-reach batch columns
     serve_workers: tuple[int, ...] = (1, 2, 4, 8)  # pool sizes for 'serve'
     repeat: int = 1  # timings report the median of this many runs
+    condense: bool = False  # 'ingest': also SCC-condense + build an index
+    ingest_mb: int = 32  # 'ingest': streamed sort budget (KREACH_INGEST_MB)
+    ingest_edges: int = 200_000  # 'ingest': synthetic edge-file size
     _cache: dict = field(default_factory=dict, repr=False)
 
     def graph(self, name: str):
@@ -1326,6 +1331,216 @@ def run_ablation_compression(config: SuiteConfig) -> Table:
     return table
 
 
+def run_ingest(config: SuiteConfig) -> Table:
+    """Streamed external-sort ingest vs the eager reader.
+
+    Generates one synthetic ``config.ingest_edges``-edge file (plus a
+    gzip twin), loads it through :func:`~repro.graph.io.read_edge_list`
+    (whole file + parse arrays resident) and through
+    :func:`~repro.graph.ingest.ingest_edge_list` (chunked parse +
+    spill-to-disk merge sort under ``config.ingest_mb``), and reports
+    wall time and tracemalloc peak for both, the streamed buffer peak
+    against its budget, the spill-run count, and whether the two CSR
+    graphs are bit-identical.  A third row reruns the stream under a
+    deliberately tight budget to force a multi-run external merge.
+
+    CI gates every row: identical must hold, the stream peak must stay
+    below the eager peak, and the sort buffer must stay within budget.
+    With ``--condense`` the ingested graph also flows through the SCC
+    condensation into a :class:`~repro.core.CondensedKReach` build.
+    """
+    import gzip
+    import tempfile
+    import time
+    import tracemalloc
+    from pathlib import Path
+
+    from repro.graph.ingest import IngestStats, ingest_edge_list
+    from repro.graph.io import read_edge_list
+
+    def measure(fn):
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        out = fn()
+        seconds = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return out, seconds, peak
+
+    n_edges = config.ingest_edges
+    n = max(64, n_edges // 8)
+    rng = np.random.default_rng(config.seed)
+    mb = float(1 << 20)
+    # Budget that forces a real external merge: >= ~4 sorted runs even
+    # after self-loop/duplicate drop (8 bytes per fused edge key).
+    tight_mb = max(1, (8 * n_edges) // (2 * (1 << 20)))
+    columns = [
+        "input", "edges", "budget MB", "eager s", "eager peak MB",
+        "stream s", "stream peak MB", "buf peak MB", "runs", "identical",
+    ]
+    if config.condense:
+        columns += ["SCCs", "condense+build s"]
+    table = Table(
+        f"Ingest — streamed external-sort CSR build vs eager reader "
+        f"({n_edges} generated edges, seed={config.seed})",
+        columns,
+        caption=(
+            "eager = read_edge_list (whole file in memory); stream = "
+            "ingest_edge_list under the given sort budget; buf peak = "
+            "largest resident run buffer (must stay within budget); "
+            "runs = spilled sorted runs merged; identical = both CSR "
+            "graphs bit-for-bit equal.  Peaks are tracemalloc-traced "
+            "allocations, so the file cache is excluded for both paths."
+        ),
+    )
+    with tempfile.TemporaryDirectory(prefix="kreach-bench-ingest-") as tmp:
+        u = rng.integers(0, n, size=n_edges)
+        v = rng.integers(0, n, size=n_edges)
+        body = "\n".join(f"{a} {b}" for a, b in zip(u.tolist(), v.tolist()))
+        payload = (f"# synthetic gnm n={n} m={n_edges}\n" + body + "\n").encode()
+        del u, v, body
+        plain = Path(tmp) / "edges.txt"
+        plain.write_bytes(payload)
+        gz = Path(tmp) / "edges.txt.gz"
+        with gzip.open(gz, "wb", compresslevel=1) as fh:
+            fh.write(payload)
+        del payload
+        for label, path, budget in (
+            ("plain", plain, config.ingest_mb),
+            ("gzip", gz, config.ingest_mb),
+            ("plain/tight", plain, tight_mb),
+        ):
+            eager, eager_s, eager_peak = measure(lambda: read_edge_list(path))
+            stats = IngestStats()
+            streamed, stream_s, stream_peak = measure(
+                lambda: ingest_edge_list(path, memory_mb=budget, stats=stats)
+            )
+            identical = (
+                eager.n == streamed.n
+                and np.array_equal(eager.out_indptr, streamed.out_indptr)
+                and np.array_equal(eager.out_indices, streamed.out_indices)
+                and np.array_equal(eager.in_indptr, streamed.in_indptr)
+                and np.array_equal(eager.in_indices, streamed.in_indices)
+            )
+            row: dict[str, object] = {
+                "input": label,
+                "edges": int(streamed.out_indices.size),
+                "budget MB": budget,
+                "eager s": eager_s,
+                "eager peak MB": eager_peak / mb,
+                "stream s": stream_s,
+                "stream peak MB": stream_peak / mb,
+                "buf peak MB": stats.max_buffered_bytes / mb,
+                "runs": stats.spill_runs,
+                "identical": "yes" if identical else "NO",
+            }
+            if config.condense:
+                from repro.core import CondensedKReach
+
+                (cond, _), cond_s, _ = measure(
+                    lambda: (
+                        (c := CondensedKReach(streamed, None)),
+                        c.prepare_batch(),
+                    )
+                )
+                row["SCCs"] = cond.num_components
+                row["condense+build s"] = cond_s
+            table.add_row(row)
+    return table
+
+
+def run_size(config: SuiteConfig) -> Table:
+    """Table-4-style storage shootout: dense rows vs WAH rows vs PWAH.
+
+    Builds each dataset's n-reach index twice over the same vertex
+    cover — once with the default dense key/weight row store, once with
+    ``storage='wah'`` (per-level compressed bitmaps, decompressed on
+    touch) — plus the PWAH-8 baseline, and reports bytes per graph edge
+    and µs/query over the shared random workload.  ``agree`` checks all
+    three verdict vectors bit-for-bit (n-reach == plain reachability,
+    so PWAH must agree too).  CI gates the TOTAL row: agree must hold
+    everywhere and the aggregate WAH bytes/edge must come in under
+    dense — per-dataset, near-empty indexes can invert the ratio (a WAH
+    level costs 16 fixed bytes, so a 1-edge row is cheaper dense), which
+    the per-row ratio column surfaces without failing the gate.
+    """
+    table = Table(
+        f"Size — row-store bytes/edge and query cost, n-reach "
+        f"(scale={config.scale}, {config.queries} random queries)",
+        ["dataset", "m", "dense B/e", "wah B/e", "ratio", "pwah B/e",
+         "dense µs", "wah µs", "pwah µs", "agree"],
+        caption=(
+            "B/e = index storage bytes per graph edge; dense/wah share "
+            "one vertex cover so the stores hold identical rows; ratio "
+            "= dense/wah.  wah decompresses rows on touch into a small "
+            "hot FIFO, so its µs column buys the size ratio.  CI gates "
+            "the TOTAL row: agree everywhere, aggregate wah < dense."
+        ),
+    )
+    tot_m = tot_dense = tot_wah = tot_pwah = 0
+    all_agree = True
+    for name in config.datasets:
+        g = config.graph(name)
+        pairs = config.pairs(name)
+        m = max(1, int(g.out_indices.size))
+        dense = KReachIndex(g, None).prepare_batch()
+        wah = KReachIndex(
+            g, None, cover=dense.cover, storage="wah"
+        ).prepare_batch()
+        pwah = PwahIndex(g)
+        ref = dense.query_batch(pairs, engine=config.engine)
+        wah_out = wah.query_batch(pairs, engine=config.engine)
+        pwah_out = pwah.reaches_batch(pairs)
+        agree = bool(
+            np.array_equal(ref, wah_out) and np.array_equal(ref, pwah_out)
+        )
+        dense_b = dense.storage_bytes()
+        wah_b = wah.storage_bytes()
+        table.add_row(
+            {
+                "dataset": name,
+                "m": m,
+                "dense B/e": dense_b / m,
+                "wah B/e": wah_b / m,
+                "ratio": f"{dense_b / max(1, wah_b):.1f}x",
+                "pwah B/e": pwah.storage_bytes() / m,
+                "dense µs": fmt_us(
+                    time_batch_queries(
+                        lambda p: dense.query_batch(p, engine=config.engine),
+                        pairs,
+                    ).us_per_query
+                ),
+                "wah µs": fmt_us(
+                    time_batch_queries(
+                        lambda p: wah.query_batch(p, engine=config.engine),
+                        pairs,
+                    ).us_per_query
+                ),
+                "pwah µs": fmt_us(
+                    time_batch_queries(pwah.reaches_batch, pairs).us_per_query
+                ),
+                "agree": "yes" if agree else "NO",
+            }
+        )
+        tot_m += m
+        tot_dense += dense_b
+        tot_wah += wah_b
+        tot_pwah += pwah.storage_bytes()
+        all_agree &= agree
+    table.add_row(
+        {
+            "dataset": "TOTAL",
+            "m": tot_m,
+            "dense B/e": tot_dense / max(1, tot_m),
+            "wah B/e": tot_wah / max(1, tot_m),
+            "ratio": f"{tot_dense / max(1, tot_wah):.1f}x",
+            "pwah B/e": tot_pwah / max(1, tot_m),
+            "agree": "yes" if all_agree else "NO",
+        }
+    )
+    return table
+
+
 #: CLI name -> callable; each returns a Table or tuple of Tables.
 def run_shard(config: SuiteConfig) -> Table:
     """The sharded serving tier: scatter-gather throughput vs one pool.
@@ -1463,6 +1678,8 @@ ALL_EXPERIMENTS = {
     "serve": run_serve,
     "shard": run_shard,
     "native": run_native,
+    "ingest": run_ingest,
+    "size": run_size,
     "ablation-covers": run_ablation_covers,
     "ablation-general-k": run_ablation_general_k,
     "ablation-case-cost": run_ablation_case_cost,

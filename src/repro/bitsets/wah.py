@@ -17,9 +17,17 @@ transitive-closure entry at query time.
 
 from __future__ import annotations
 
+import collections
+
 import numpy as np
 
-__all__ = ["WahBitVector"]
+__all__ = [
+    "WahBitVector",
+    "WahBitMatrix",
+    "encode_bits",
+    "decode_bits",
+    "decode_indices",
+]
 
 GROUP_BITS = 31
 _FILL_FLAG = 1 << 31
@@ -27,6 +35,96 @@ _FILL_VALUE = 1 << 30
 _RUN_MASK = _FILL_VALUE - 1
 _LITERAL_MASK = (1 << GROUP_BITS) - 1
 _ALL_ONES_GROUP = _LITERAL_MASK
+
+_SHIFTS = np.arange(GROUP_BITS, dtype=np.int64)
+_WEIGHTS = np.int64(1) << _SHIFTS
+
+
+def _group_values(bits: np.ndarray) -> np.ndarray:
+    """31-bit group payloads of a boolean array (zero-padded tail)."""
+    size = len(bits)
+    ngroups = (size + GROUP_BITS - 1) // GROUP_BITS
+    if ngroups == 0:
+        return np.empty(0, dtype=np.int64)
+    padded = np.zeros(ngroups * GROUP_BITS, dtype=bool)
+    padded[:size] = bits
+    return padded.reshape(ngroups, GROUP_BITS) @ _WEIGHTS
+
+
+def encode_bits(bits: np.ndarray) -> np.ndarray:
+    """WAH-encode a boolean array into a ``uint32`` word array.
+
+    Word-for-word identical to :meth:`WahBitVector.compress` (which
+    delegates here), but fully vectorized: run boundaries, fill-run
+    splitting at :data:`_RUN_MASK`, and literal emission all happen as
+    array ops — this is what makes compressing millions of index rows
+    (:class:`repro.core.rowstore.WahRowStore`) tractable.
+    """
+    values = _group_values(np.asarray(bits, dtype=bool))
+    ngroups = values.size
+    if ngroups == 0:
+        return np.empty(0, dtype=np.uint32)
+    is_lit = (values != 0) & (values != _ALL_ONES_GROUP)
+    # A run starts where the payload changes or a literal is adjacent
+    # (every literal group is its own single-word "run").
+    starts = np.empty(ngroups, dtype=bool)
+    starts[0] = True
+    np.logical_or(values[1:] != values[:-1], is_lit[1:], out=starts[1:])
+    np.logical_or(starts[1:], is_lit[:-1], out=starts[1:])
+    start_idx = np.flatnonzero(starts)
+    run_len = np.diff(np.append(start_idx, ngroups))
+    run_val = values[start_idx]
+    run_lit = is_lit[start_idx]
+
+    # Fill runs longer than the 30-bit run field split into several
+    # words: full _RUN_MASK chunks then the remainder (1.._RUN_MASK).
+    nwords = np.where(run_lit, 1, (run_len + _RUN_MASK - 1) // _RUN_MASK)
+    run_of_word = np.repeat(np.arange(run_len.size), nwords)
+    first_word = np.cumsum(nwords) - nwords
+    pos = np.arange(run_of_word.size, dtype=np.int64) - first_word[run_of_word]
+    last = pos == (nwords[run_of_word] - 1)
+    chunk = np.where(
+        last, run_len[run_of_word] - pos * _RUN_MASK, _RUN_MASK
+    )
+    fill_bit = np.where(run_val[run_of_word] == _ALL_ONES_GROUP, _FILL_VALUE, 0)
+    words = np.where(
+        run_lit[run_of_word],
+        run_val[run_of_word],
+        _FILL_FLAG | fill_bit | chunk,
+    )
+    return words.astype(np.uint32)
+
+
+def _decode_values(words: np.ndarray, ngroups: int) -> np.ndarray:
+    """Expand a WAH word array back into 31-bit group payloads."""
+    words = np.asarray(words, dtype=np.uint32).astype(np.int64)
+    if words.size == 0:
+        if ngroups:
+            raise ValueError("corrupt WAH stream: group count mismatch")
+        return np.empty(0, dtype=np.int64)
+    is_fill = (words & _FILL_FLAG) != 0
+    runs = np.where(is_fill, words & _RUN_MASK, 1)
+    if int(runs.sum()) != ngroups:
+        raise ValueError("corrupt WAH stream: group count mismatch")
+    payload = np.where(
+        is_fill,
+        np.where((words & _FILL_VALUE) != 0, _ALL_ONES_GROUP, 0),
+        words & _LITERAL_MASK,
+    )
+    return np.repeat(payload, runs)
+
+
+def decode_bits(words: np.ndarray, size: int) -> np.ndarray:
+    """Decode a WAH word array into its boolean array of length ``size``."""
+    ngroups = (size + GROUP_BITS - 1) // GROUP_BITS
+    values = _decode_values(words, ngroups)
+    bits = ((values[:, None] >> _SHIFTS) & 1).astype(bool).reshape(-1)
+    return bits[:size]
+
+
+def decode_indices(words: np.ndarray, size: int) -> np.ndarray:
+    """Positions of the set bits in a WAH word array (sorted int64)."""
+    return np.flatnonzero(decode_bits(words, size)).astype(np.int64)
 
 
 class WahBitVector:
@@ -54,19 +152,21 @@ class WahBitVector:
     # ------------------------------------------------------------------
     @classmethod
     def compress(cls, bits: np.ndarray) -> "WahBitVector":
-        """Compress a boolean array."""
+        """Compress a boolean array (vectorized via :func:`encode_bits`)."""
+        bits = np.asarray(bits, dtype=bool)
+        return cls([int(w) for w in encode_bits(bits)], len(bits))
+
+    @classmethod
+    def compress_reference(cls, bits: np.ndarray) -> "WahBitVector":
+        """The original word-at-a-time encoder.
+
+        Kept as the executable specification :func:`encode_bits` is
+        differential-tested against — the two must agree word for word
+        on every input.
+        """
         bits = np.asarray(bits, dtype=bool)
         size = len(bits)
-        ngroups = (size + GROUP_BITS - 1) // GROUP_BITS
-        if ngroups == 0:
-            return cls([], size)
-        padded = np.zeros(ngroups * GROUP_BITS, dtype=bool)
-        padded[:size] = bits
-        groups = padded.reshape(ngroups, GROUP_BITS)
-        # Little-endian within the group: bit j of the group is stream
-        # position g*31 + j.
-        weights = (1 << np.arange(GROUP_BITS, dtype=np.int64))
-        values = groups @ weights  # int64 group payloads
+        values = _group_values(bits)
 
         words: list[int] = []
         run_value = -1  # payload of the current fill run (0 or ALL_ONES)
@@ -191,3 +291,111 @@ class WahBitVector:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WahBitVector(size={self.size}, words={len(self.words)})"
+
+
+class WahBitMatrix:
+    """WAH-compressed rows of a packed-uint64 bit matrix.
+
+    The dense cover-local link matrices
+    (:meth:`repro.core.index_graph.IndexGraph.link_matrix`) cost
+    ``ceil(cols/64) * 8`` bytes per row regardless of density.  This
+    wrapper stores each row WAH-compressed and decompresses **on touch**:
+    :meth:`take` returns a dense uint64 block for the requested rows,
+    serving repeats from a small FIFO of hot uncompressed rows — the
+    batch Case-4 join then runs the exact same packed-word kernels on
+    the block.
+
+    ``shape`` mimics the dense matrix (``(rows, ceil(cols/64))`` uint64
+    words) so size accounting and kernel chunking stay unchanged.
+    """
+
+    __slots__ = ("ncols", "nwords", "_indptr", "_words", "_hot", "_hot_cap")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        words: np.ndarray,
+        ncols: int,
+        *,
+        hot_rows: int = 64,
+    ) -> None:
+        self._indptr = np.asarray(indptr, dtype=np.int64)
+        self._words = np.asarray(words, dtype=np.uint32)
+        self.ncols = int(ncols)
+        self.nwords = (self.ncols + 63) // 64
+        self._hot: "collections.OrderedDict[int, np.ndarray]" = (
+            collections.OrderedDict()
+        )
+        self._hot_cap = max(1, int(hot_rows))
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, ncols: int, *, hot_rows: int = 64
+    ) -> "WahBitMatrix":
+        """Compress a ``(rows, ceil(ncols/64))`` uint64 bit matrix."""
+        dense = np.ascontiguousarray(dense, dtype=np.uint64)
+        rows = dense.shape[0]
+        parts: list[np.ndarray] = []
+        indptr = np.zeros(rows + 1, dtype=np.int64)
+        for r in range(rows):
+            bits = np.unpackbits(
+                dense[r].view(np.uint8), count=ncols, bitorder="little"
+            ).astype(bool)
+            part = encode_bits(bits)
+            parts.append(part)
+            indptr[r + 1] = indptr[r] + part.size
+        words = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.uint32)
+        )
+        return cls(indptr, words, ncols, hot_rows=hot_rows)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self._indptr) - 1, self.nwords)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    def __len__(self) -> int:
+        return len(self._indptr) - 1
+
+    def _decode_row(self, r: int) -> np.ndarray:
+        cached = self._hot.get(r)
+        if cached is not None:
+            self._hot.move_to_end(r)
+            return cached
+        bits = decode_bits(
+            self._words[self._indptr[r] : self._indptr[r + 1]], self.ncols
+        )
+        packed = np.packbits(bits, bitorder="little")
+        row = np.zeros(self.nwords * 8, dtype=np.uint8)
+        row[: packed.size] = packed
+        row = row.view(np.uint64)
+        self._hot[r] = row
+        if len(self._hot) > self._hot_cap:
+            self._hot.popitem(last=False)
+        return row
+
+    def take(self, rows: np.ndarray) -> np.ndarray:
+        """Dense uint64 block for ``rows`` (decompress-on-touch)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty((rows.size, self.nwords), dtype=np.uint64)
+        for i, r in enumerate(rows):
+            out[i] = self._decode_row(int(r))
+        return out
+
+    def storage_bytes(self) -> int:
+        """Compressed payload + offsets (the hot cache is transient)."""
+        return int(self._words.nbytes + self._indptr.nbytes)
+
+    def dense_bytes(self) -> int:
+        """What the equivalent dense matrix would occupy."""
+        return (len(self._indptr) - 1) * self.nwords * 8
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rows, nw = self.shape
+        return (
+            f"WahBitMatrix(rows={rows}, cols={self.ncols}, "
+            f"words={self._words.size}, dense_words={rows * nw})"
+        )

@@ -34,6 +34,18 @@ engine; every invocation prints the active tier line and ``--json``
 provenance records ``native.describe()`` so BENCH artifacts say which
 tier produced them.  ``--repeat N`` reports median-of-N timings.
 
+``ingest`` races the streamed external-sort ingester
+(:func:`~repro.graph.ingest.ingest_edge_list`, budget ``--ingest-mb``,
+file size ``--ingest-edges``) against the eager
+:func:`~repro.graph.io.read_edge_list` on a generated edge file —
+plain, gzip, and a tight-budget multi-run merge — gating bit-identical
+CSR output, streamed peak < eager peak, and sort buffer within budget;
+``--condense`` extends the pipeline through the SCC condensation into a
+:class:`~repro.core.CondensedKReach` build.  ``size`` compares the
+dense row store against ``storage='wah'`` compressed rows and the
+PWAH-8 baseline on bytes/edge and µs/query (CI gates wah < dense with
+bit-identical verdicts).
+
 Every experiment accepts ``--scale`` (1.0 = paper-sized graphs),
 ``--queries``, ``--datasets`` (comma-separated subset), ``--seed``, and
 ``--workers`` (process pool for construction).  ``--json PATH``
@@ -139,6 +151,36 @@ def build_parser() -> argparse.ArgumentParser:
             "repeat each timing N times and report the median run "
             "(default 1); smooths scheduler noise in BENCH_*.json "
             "trajectories"
+        ),
+    )
+    parser.add_argument(
+        "--condense",
+        action="store_true",
+        help=(
+            "'ingest': also run the streamed graph through the SCC "
+            "condensation into a CondensedKReach build (index on the "
+            "condensation DAG, queries mapped through component ids)"
+        ),
+    )
+    parser.add_argument(
+        "--ingest-mb",
+        type=int,
+        default=32,
+        metavar="MB",
+        help=(
+            "'ingest': memory budget for the streamed external-sort "
+            "ingester (also honored via the KREACH_INGEST_MB env var "
+            "when unset; default 32)"
+        ),
+    )
+    parser.add_argument(
+        "--ingest-edges",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help=(
+            "'ingest': size of the generated synthetic edge file "
+            "(default 200000; CI runs 2000000)"
         ),
     )
     parser.add_argument(
@@ -305,6 +347,9 @@ def main(argv: list[str] | None = None) -> int:
         engine=args.engine,
         serve_workers=serve_workers,
         repeat=max(1, args.repeat),
+        condense=args.condense,
+        ingest_mb=max(1, args.ingest_mb),
+        ingest_edges=max(1000, args.ingest_edges),
     )
     from repro import native
 
@@ -339,6 +384,9 @@ def main(argv: list[str] | None = None) -> int:
                 "engine": args.engine,
                 "serve_workers": list(serve_workers),
                 "repeat": max(1, args.repeat),
+                "condense": args.condense,
+                "ingest_mb": max(1, args.ingest_mb),
+                "ingest_edges": max(1000, args.ingest_edges),
             },
             "experiments": records,
         }

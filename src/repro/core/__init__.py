@@ -1,5 +1,6 @@
 """The paper's contribution: k-reach, (h,k)-reach, and general-k support."""
 
+from repro.core.condensed import CondensedKReach
 from repro.core.dynamic import DynamicKReachIndex
 from repro.core.general_k import (
     INFINITE_DISTANCE,
@@ -59,6 +60,7 @@ from repro.core.vertex_cover import (
 
 __all__ = [
     "KReachIndex",
+    "CondensedKReach",
     "HKReachIndex",
     "DynamicKReachIndex",
     "IndexGraph",

@@ -306,7 +306,11 @@ def case4_bitset_join(
     :meth:`~repro.core.index_graph.IndexGraph.link_matrix`) already
     thresholded at the caller's budget, with the diagonal set iff the
     ``u == v`` handshake satisfies that budget; ``row_pos`` maps vertex
-    ids to cover positions (-1 outside the cover).
+    ids to cover positions (-1 outside the cover).  A WAH-compressed
+    matrix (:class:`repro.bitsets.wah.WahBitMatrix`, the ``storage='wah'``
+    backing) is accepted too: only the distinct link rows this batch
+    touches are decompressed, and the same packed-word kernels run over
+    the dense block.
 
     The identity this rides on: *some* out-neighbor ``u`` of ``s`` links
     to *some* in-neighbor ``v`` of ``t`` iff the union of the link rows
@@ -350,9 +354,22 @@ def case4_bitset_join(
         nbrs, owner = gather_out(uniq_s)
     pos = row_pos[nbrs]
     keep = pos >= 0
-    ubits = or_rows_segmented(
-        matrix, pos[keep], owner[keep], len(uniq_s), max_words=max_words
-    )
+    if isinstance(matrix, np.ndarray):
+        ubits = or_rows_segmented(
+            matrix, pos[keep], owner[keep], len(uniq_s), max_words=max_words
+        )
+    else:
+        # Compressed link rows: decompress the distinct rows once
+        # (served from the matrix's hot-row FIFO on repeats) and OR-fold
+        # the dense block exactly as above.
+        uniq_rows, local = np.unique(pos[keep], return_inverse=True)
+        ubits = or_rows_segmented(
+            matrix.take(uniq_rows),
+            local,
+            owner[keep],
+            len(uniq_s),
+            max_words=max_words,
+        )
 
     fn, tier = native.resolve("gather_and_any")
     if tier != "numpy":

@@ -199,7 +199,17 @@ class DynamicKReachIndex:
         uses this to install a validated snapshot before replaying the
         pending delta log; it also lets a settled :meth:`freeze` output
         re-enter dynamic service without paying a reconstruction.
+
+        The base must use the default dense row storage: the dynamic
+        tier merges delta rows against the base's flat key/weight
+        arrays, which a ``storage='wah'`` index deliberately does not
+        materialize.  Rebuild (or reload) the snapshot densely first.
         """
+        if base.index_graph.storage != "dense":
+            raise ValueError(
+                "DynamicKReachIndex requires a dense-storage base index; "
+                f"got storage={base.index_graph.storage!r}"
+            )
         self = object.__new__(cls)
         self._init_config(
             base.graph.n,

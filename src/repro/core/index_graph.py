@@ -90,6 +90,8 @@ class IndexGraph:
         "_row_pos",
         "_flat",
         "_matrices",
+        "storage",
+        "_wah_store",
     )
 
     def __init__(
@@ -112,6 +114,8 @@ class IndexGraph:
         self._row_pos: np.ndarray | None = None
         self._flat: dict[int, int] | None = None
         self._matrices: dict[tuple[int | None, bool], np.ndarray] = {}
+        self.storage: str = "dense"
+        self._wah_store = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -286,6 +290,37 @@ class IndexGraph:
         )
 
     # ------------------------------------------------------------------
+    # Row-store backing (dense keyed arrays vs WAH-compressed bitmaps)
+    # ------------------------------------------------------------------
+    def use_storage(self, storage: str, store=None) -> "IndexGraph":
+        """Select the row-store backing for the batch engine.
+
+        ``'dense'`` (the default) probes the flat sorted key/weight
+        arrays (:meth:`keys` / :meth:`weights64`); ``'wah'`` probes
+        per-row WAH bitmaps (:class:`~repro.core.rowstore.WahRowStore`)
+        that decompress on touch — a fraction of the dense bytes at a
+        per-query decompression cost.  ``store`` pre-installs a built
+        store (the zero-copy loader's path); otherwise it is built
+        lazily from the CSR arrays on first :meth:`wah_store` call.
+        Answers are bit-identical either way.  Returns ``self``.
+        """
+        if storage not in ("dense", "wah"):
+            raise ValueError(f"storage must be 'dense' or 'wah', got {storage!r}")
+        if store is not None and storage != "wah":
+            raise ValueError("a pre-built store requires storage='wah'")
+        self.storage = storage
+        self._wah_store = store
+        return self
+
+    def wah_store(self):
+        """The WAH row store (built from the CSR on first use)."""
+        if self._wah_store is None:
+            from repro.core.rowstore import WahRowStore
+
+            self._wah_store = WahRowStore.from_index_graph(self)
+        return self._wah_store
+
+    # ------------------------------------------------------------------
     # Derived views (each built once, on first use)
     # ------------------------------------------------------------------
     def weights64(self) -> np.ndarray:
@@ -362,6 +397,13 @@ class IndexGraph:
         if diagonal and size:
             diag = np.arange(size, dtype=np.int64)
             set_bits(mat, diag, diag)
+        if self.storage == "wah":
+            # Compressed cold rows: the Case-4 join decompresses just
+            # the rows a batch touches (WahBitMatrix.take), keeping the
+            # resident footprint at the compressed size.
+            from repro.bitsets.wah import WahBitMatrix
+
+            mat = WahBitMatrix.from_dense(mat, size)
         while len(self._matrices) >= LINK_MATRIX_CACHE_CAP:
             self._matrices.pop(next(iter(self._matrices)))
         self._matrices[key] = mat

@@ -152,6 +152,7 @@ class KReachIndex:
         compress_rows_at: int | None = None,
         builder: str = "blocked",
         bitset_matrix_bytes: int = DEFAULT_MATRIX_BYTES,
+        storage: str = "dense",
         rng: np.random.Generator | None = None,
     ) -> None:
         if k is not None and k < 0:
@@ -175,6 +176,8 @@ class KReachIndex:
             make = cover_triples_serial if builder == "serial" else cover_triples_blocked
             triples = make(graph, cover, k)
         ig = IndexGraph.for_kreach(graph.n, cover, *triples, k)
+        if storage != "dense":
+            ig.use_storage(storage)
         self._finish_init(
             graph, k, cover, ig, compress_rows_at, bitset_matrix_bytes
         )
@@ -204,6 +207,9 @@ class KReachIndex:
         self._b1_ok = k is None or k >= 1  # may a u == v handshake use k-1?
         self._b2_ok = k is None or k >= 2  # ... use k-2?
         self._ig = index_graph
+        #: Row-store backing ('dense' keyed arrays or 'wah' compressed
+        #: bitmaps) — owned by the IndexGraph, mirrored for introspection.
+        self.storage = index_graph.storage
         self.compress_rows_at = compress_rows_at
         self.bitset_matrix_bytes = int(bitset_matrix_bytes)
         self._wah = self._build_wah(compress_rows_at)
@@ -246,6 +252,7 @@ class KReachIndex:
         index_graph: IndexGraph,
         compress_rows_at: int | None = None,
         bitset_matrix_bytes: int = DEFAULT_MATRIX_BYTES,
+        storage: str | None = None,
     ) -> "KReachIndex":
         """Assemble an index around a pre-built :class:`IndexGraph`.
 
@@ -254,10 +261,15 @@ class KReachIndex:
         :meth:`~repro.core.dynamic.DynamicKReachIndex.freeze`.  The caller
         is responsible for the contents being exactly what Algorithm 1
         would have produced for this ``(graph, k, cover)``.
+        ``storage=None`` inherits the IndexGraph's backing (the loaders
+        pre-install a compressed store there); pass ``'dense'``/``'wah'``
+        to override.
         """
         self = object.__new__(cls)
         if not isinstance(cover, frozenset):
             cover = frozenset(int(v) for v in cover)
+        if storage is not None and storage != index_graph.storage:
+            index_graph.use_storage(storage)
         self._finish_init(
             graph,
             k,
@@ -369,7 +381,17 @@ class KReachIndex:
             ig = self._ig
             n = self.graph.n
             wah = self._wah
-            if wah is None:
+            if wah is None and ig.storage == "wah":
+                # Compressed storage: scalar probes go through the row
+                # store's decompress-on-touch cache instead of
+                # materializing the flat dict (which would cost the
+                # dense bytes the backing exists to avoid).
+                store = ig.wah_store()
+
+                def probe(u: int, v: int, _store=store):
+                    return _store.weight_of(u, v)
+
+            elif wah is None:
                 flat = ig.flat()
 
                 def probe(u: int, v: int, _flat=flat, _n=n):
@@ -542,11 +564,20 @@ class KReachIndex:
     # Batch query processing (vectorized Algorithm 2)
     # ------------------------------------------------------------------
     def _keyed(self) -> KeyedRowStore:
-        """The batch engine's probe view — zero-copy from the IndexGraph."""
+        """The batch engine's probe view — zero-copy from the IndexGraph.
+
+        With ``storage='wah'`` this is the compressed
+        :class:`~repro.core.rowstore.WahRowStore` instead (same
+        ``lookup`` contract, decompress-on-touch rows); every batch
+        engine runs unchanged against either backing.
+        """
         if self._keyed_rows is None:
-            self._keyed_rows = KeyedRowStore(
-                self._ig.keys(), self._ig.weights64(), self.graph.n
-            )
+            if self._ig.storage == "wah":
+                self._keyed_rows = self._ig.wah_store()
+            else:
+                self._keyed_rows = KeyedRowStore(
+                    self._ig.keys(), self._ig.weights64(), self.graph.n
+                )
         return self._keyed_rows
 
     def _flags(self) -> np.ndarray:
@@ -777,8 +808,13 @@ class KReachIndex:
         Plain rows: CSR over the cover — 4-byte ids for the cover members
         and edge targets, 4-byte offsets, a packed 2-bit weight array.
         Compressed rows: their WAH words.  Plus an n-bit cover-membership
-        bitmap for the O(1) case dispatch.
+        bitmap for the O(1) case dispatch.  With ``storage='wah'`` the
+        row payload is the compressed store itself (bitmap words plus
+        level/row offsets) instead of the dense CSR columns.
         """
+        bitmap_bytes = (self.graph.n + 7) // 8
+        if self._ig.storage == "wah":
+            return self._ig.wah_store().storage_bytes() + bitmap_bytes
         n_i = self.cover_size
         if self._wah is not None:
             compressed_bytes = sum(r.storage_bytes() for r in self._wah.values())

@@ -17,13 +17,15 @@ algorithms in :mod:`repro.core.kreach` are storage-agnostic.
 
 from __future__ import annotations
 
+import collections
 from typing import Iterator
 
 import numpy as np
 
-from repro.bitsets.wah import WahBitVector
+from repro import faults
+from repro.bitsets.wah import WahBitVector, decode_indices, encode_bits
 
-__all__ = ["CompressedRow", "compress_rows", "rows_to_arrays"]
+__all__ = ["CompressedRow", "WahRowStore", "compress_rows", "rows_to_arrays"]
 
 
 class CompressedRow:
@@ -137,6 +139,209 @@ class CompressedRow:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CompressedRow(size={self._size}, levels={self.weight_levels()})"
+
+
+class WahRowStore:
+    """WAH-compressed row store — the ``storage='wah'`` batch probe view.
+
+    The drop-in compressed alternative to
+    :class:`~repro.core.batch.KeyedRowStore`: where the dense store holds
+    16 bytes per index edge (flat int64 keys + weights), this one holds a
+    WAH bitmap per ``(cover row, weight level)`` over the vertex-id
+    universe — a k-reach row has at most three levels (§4.3), and sparse
+    or clustered rows compress to a fraction of the dense bytes.
+
+    :meth:`lookup` keeps the same contract (aligned ``(u, v)`` arrays →
+    int64 weights, ``MISSING_WEIGHT`` on absence) so every batch engine
+    runs unchanged; rows decompress **on touch** into a small FIFO of hot
+    uncompressed ``(targets, weights)`` pairs, which a batch grouped by
+    source row (the common Case-2/3 shape) hits repeatedly.
+
+    Layout (four flat arrays, each a zero-copy mmap section in the v5
+    format's ``storage='wah'`` flavor):
+
+    * ``row_indptr``  — int64, ``|S| + 1``: level span of each cover row;
+    * ``level_weights`` — int64 per level: the stored weight;
+    * ``level_indptr`` — int64, levels + 1: word span of each level;
+    * ``words`` — uint32 WAH payload.
+    """
+
+    __slots__ = (
+        "cover_ids",
+        "n",
+        "row_indptr",
+        "level_weights",
+        "level_indptr",
+        "words",
+        "_size",
+        "_hot",
+        "_hot_cap",
+    )
+
+    def __init__(
+        self,
+        cover_ids: np.ndarray,
+        n: int,
+        row_indptr: np.ndarray,
+        level_weights: np.ndarray,
+        level_indptr: np.ndarray,
+        words: np.ndarray,
+        *,
+        size: int | None = None,
+        hot_rows: int = 32,
+    ) -> None:
+        self.cover_ids = np.asarray(cover_ids, dtype=np.int64)
+        self.n = int(n)
+        self.row_indptr = np.asarray(row_indptr, dtype=np.int64)
+        self.level_weights = np.asarray(level_weights, dtype=np.int64)
+        self.level_indptr = np.asarray(level_indptr, dtype=np.int64)
+        self.words = np.asarray(words, dtype=np.uint32)
+        if len(self.row_indptr) != len(self.cover_ids) + 1:
+            raise ValueError("row_indptr must have |cover| + 1 entries")
+        if len(self.level_indptr) != len(self.level_weights) + 1:
+            raise ValueError("level_indptr must have levels + 1 entries")
+        self._size = size  # total stored edges; counted on demand
+        self._hot: "collections.OrderedDict[int, tuple[np.ndarray, np.ndarray]]" = (
+            collections.OrderedDict()
+        )
+        self._hot_cap = max(1, int(hot_rows))
+
+    @classmethod
+    def from_index_graph(cls, ig, *, hot_rows: int = 32) -> "WahRowStore":
+        """Compress an :class:`~repro.core.index_graph.IndexGraph`'s rows."""
+        weights = ig.weights64()
+        targets = ig.targets
+        n_rows = len(ig.cover_ids)
+        row_indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        level_weights: list[int] = []
+        level_sizes: list[int] = []
+        word_parts: list[np.ndarray] = []
+        bits = np.zeros(ig.n, dtype=bool)
+        for r in range(n_rows):
+            lo, hi = int(ig.indptr[r]), int(ig.indptr[r + 1])
+            row_t = targets[lo:hi]
+            row_w = weights[lo:hi]
+            for w in np.unique(row_w).tolist():
+                hit = row_t[row_w == w]
+                bits[hit] = True
+                part = encode_bits(bits)
+                bits[hit] = False
+                word_parts.append(part)
+                level_weights.append(int(w))
+                level_sizes.append(part.size)
+            row_indptr[r + 1] = len(level_weights)
+        level_indptr = np.zeros(len(level_weights) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(level_sizes, dtype=np.int64), out=level_indptr[1:])
+        words = (
+            np.concatenate(word_parts)
+            if word_parts
+            else np.empty(0, dtype=np.uint32)
+        )
+        return cls(
+            ig.cover_ids,
+            ig.n,
+            row_indptr,
+            np.asarray(level_weights, dtype=np.int64),
+            level_indptr,
+            words,
+            size=len(targets),
+            hot_rows=hot_rows,
+        )
+
+    def __len__(self) -> int:
+        if self._size is None:
+            total = 0
+            for r in range(len(self.cover_ids)):
+                total += len(self._row_arrays(r)[0])
+            self._size = total
+        return self._size
+
+    def _row_arrays(self, r: int) -> tuple[np.ndarray, np.ndarray]:
+        """Row ``r`` decoded to sorted ``(targets, weights)`` (FIFO-cached)."""
+        cached = self._hot.get(r)
+        if cached is not None:
+            self._hot.move_to_end(r)
+            return cached
+        t_parts: list[np.ndarray] = []
+        w_parts: list[np.ndarray] = []
+        for li in range(int(self.row_indptr[r]), int(self.row_indptr[r + 1])):
+            wlo, whi = int(self.level_indptr[li]), int(self.level_indptr[li + 1])
+            hit = decode_indices(self.words[wlo:whi], self.n)
+            t_parts.append(hit)
+            w_parts.append(
+                np.full(len(hit), int(self.level_weights[li]), dtype=np.int64)
+            )
+        if t_parts:
+            targets = np.concatenate(t_parts)
+            weights = np.concatenate(w_parts)
+            order = np.argsort(targets, kind="stable")
+            pair = (targets[order], weights[order])
+        else:
+            pair = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        self._hot[r] = pair
+        if len(self._hot) > self._hot_cap:
+            self._hot.popitem(last=False)
+        return pair
+
+    def lookup(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Stored weights for aligned (u, v) arrays — the
+        :meth:`~repro.core.batch.KeyedRowStore.lookup` contract, served
+        from decompress-on-touch rows."""
+        from repro.core.batch import MISSING_WEIGHT
+
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if len(u) == 0:
+            return np.empty(0, dtype=np.int64)
+        if faults.ENABLED:
+            faults.fire("batch.kernel_slow")
+        out = np.full(len(u), MISSING_WEIGHT, dtype=np.int64)
+        n_rows = len(self.cover_ids)
+        if n_rows == 0:
+            return out
+        ri = np.minimum(np.searchsorted(self.cover_ids, u), n_rows - 1)
+        vi = np.flatnonzero(self.cover_ids[ri] == u)
+        if vi.size == 0:
+            return out
+        vi = vi[np.argsort(ri[vi], kind="stable")]  # group probes by row
+        uniq_rows, starts = np.unique(ri[vi], return_index=True)
+        bounds = np.append(starts, vi.size)
+        for j, r in enumerate(uniq_rows.tolist()):
+            sel = vi[bounds[j] : bounds[j + 1]]
+            targets, weights = self._row_arrays(r)
+            if targets.size == 0:
+                continue
+            pos = np.minimum(
+                np.searchsorted(targets, v[sel]), targets.size - 1
+            )
+            hit = targets[pos] == v[sel]
+            out[sel[hit]] = weights[pos[hit]]
+        return out
+
+    def weight_of(self, u: int, v: int) -> int | None:
+        """Scalar probe (the compressed scalar-view backend)."""
+        from repro.core.batch import MISSING_WEIGHT
+
+        w = self.lookup(
+            np.asarray([u], dtype=np.int64), np.asarray([v], dtype=np.int64)
+        )[0]
+        return None if w == MISSING_WEIGHT else int(w)
+
+    def storage_bytes(self) -> int:
+        """Compressed payload + offsets + the cover-id table."""
+        return int(
+            self.words.nbytes
+            + self.level_indptr.nbytes
+            + self.level_weights.nbytes
+            + self.row_indptr.nbytes
+            + self.cover_ids.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WahRowStore(rows={len(self.cover_ids)}, "
+            f"levels={len(self.level_weights)}, words={len(self.words)})"
+        )
 
 
 def rows_to_arrays(rows: dict, n: int) -> tuple[np.ndarray, np.ndarray]:

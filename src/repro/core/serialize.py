@@ -148,6 +148,29 @@ _V4_SECTIONS = {
     "row_weights": np.dtype("<i8"),
 }
 
+#: Sections replacing ``row_keys`` / ``row_weights`` when the header
+#: declares ``storage='wah'``: the flat arrays of
+#: :class:`~repro.core.rowstore.WahRowStore`, mapped zero-copy.
+_WAH_SECTIONS = {
+    "wah_row_indptr": np.dtype("<i8"),
+    "wah_level_weights": np.dtype("<i8"),
+    "wah_level_indptr": np.dtype("<i8"),
+    "wah_words": np.dtype("<u4"),
+}
+
+
+def _mmap_sections(storage: str) -> dict[str, np.dtype]:
+    """The section table for a v5 file with the given row storage."""
+    if storage == "dense":
+        return _V4_SECTIONS
+    table = {
+        name: dtype
+        for name, dtype in _V4_SECTIONS.items()
+        if name not in ("row_keys", "row_weights")
+    }
+    table.update(_WAH_SECTIONS)
+    return table
+
 
 class IndexCorruptionError(ValueError):
     """A stored index failed an integrity check.
@@ -450,7 +473,8 @@ def _v4_arrays(index: KReachIndex) -> dict[str, np.ndarray]:
     For an index whose arrays already live in the canonical dtypes (every
     index this package builds) the coercions are no-ops; the derived
     sorted key / weight row-store arrays are materialized here so the
-    loader never has to.
+    loader never has to.  A ``storage='wah'`` index swaps those two
+    (16 bytes/edge) for the four flat :class:`WahRowStore` arrays.
     """
     g = index.graph
     ig = index.index_graph
@@ -463,11 +487,19 @@ def _v4_arrays(index: KReachIndex) -> dict[str, np.ndarray]:
         "index_indptr": ig.indptr,
         "index_targets": ig.targets,
         "weight_words": ig.packed.words,
-        "row_keys": ig.keys(),
-        "row_weights": ig.weights64(),
     }
+    if ig.storage == "wah":
+        store = ig.wah_store()
+        arrays["wah_row_indptr"] = store.row_indptr
+        arrays["wah_level_weights"] = store.level_weights
+        arrays["wah_level_indptr"] = store.level_indptr
+        arrays["wah_words"] = store.words
+    else:
+        arrays["row_keys"] = ig.keys()
+        arrays["row_weights"] = ig.weights64()
+    table = _mmap_sections(ig.storage)
     return {
-        name: np.ascontiguousarray(arr, dtype=_V4_SECTIONS[name])
+        name: np.ascontiguousarray(arr, dtype=table[name])
         for name, arr in arrays.items()
     }
 
@@ -488,6 +520,13 @@ def save_mmap(index: KReachIndex, path: str | os.PathLike) -> None:
     The write is atomic: a crash mid-save (chaos-tested through the
     ``serialize.v4_write_mid`` failpoint) leaves any previous snapshot
     at ``path`` byte-identical.
+
+    An index built with ``storage='wah'`` is saved in the compressed
+    flavor: the header gains a ``"storage": "wah"`` field and the flat
+    ``row_keys`` / ``row_weights`` sections (16 bytes per index edge)
+    are replaced by the four :class:`WahRowStore` arrays.  Dense files
+    carry no ``storage`` field and stay byte-compatible with older
+    readers.
     """
     arrays = _v4_arrays(index)
     sections: dict[str, dict[str, object]] = {}
@@ -512,6 +551,10 @@ def save_mmap(index: KReachIndex, path: str | os.PathLike) -> None:
         "payload_bytes": payload_bytes,
         "sections": sections,
     }
+    if index.index_graph.storage != "dense":
+        # Absent field == dense, so dense files stay byte-compatible
+        # with pre-wah readers.
+        header["storage"] = index.index_graph.storage
     blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
     base = _align(_MMAP_PROLOGUE + len(blob))
 
@@ -676,6 +719,12 @@ def load_mmap(
     k = None if k_raw is None else int(k_raw)
     if not isinstance(sections, dict):
         raise ValueError(f"corrupt v4 header in {path}: no section table")
+    storage = header.get("storage", "dense")
+    if storage not in ("dense", "wah"):
+        raise ValueError(
+            f"corrupt header in {path}: unknown row storage {storage!r}"
+        )
+    section_table = _mmap_sections(storage)
 
     base = _align(plen + hlen)
     # One shared mapping for the whole payload; every section is a view
@@ -696,7 +745,7 @@ def load_mmap(
     views: dict[str, np.ndarray] = {}
     section_starts: dict[str, int] = {}
     payload_end = 0
-    for name, dtype in _V4_SECTIONS.items():
+    for name, dtype in section_table.items():
         entry = sections.get(name)
         if entry is None:
             raise IndexCorruptionError(
@@ -751,7 +800,7 @@ def load_mmap(
             f"{payload_end}"
         )
     if verify:
-        for name in _V4_SECTIONS:
+        for name in section_table:
             stored = sections[name].get("crc32")
             if not isinstance(stored, int):
                 raise IndexCorruptionError(
@@ -800,7 +849,20 @@ def load_mmap(
             raise bad("cover_ids", "must be strictly ascending")
     if int(views["index_indptr"][-1]) != edges:
         raise bad("index_indptr", f"must end at the {edges}-edge target count")
-    if len(views["row_keys"]) != edges or len(views["row_weights"]) != edges:
+    if storage == "wah":
+        if len(views["wah_row_indptr"]) != len(cover_ids) + 1:
+            raise bad("wah_row_indptr", "must hold cover size + 1 offsets")
+        levels = len(views["wah_level_weights"])
+        if len(views["wah_level_indptr"]) != levels + 1:
+            raise bad("wah_level_indptr", f"must hold {levels} + 1 offsets")
+        if int(views["wah_row_indptr"][-1]) != levels:
+            raise bad("wah_row_indptr", f"must end at the {levels}-level count")
+        if int(views["wah_level_indptr"][-1]) != len(views["wah_words"]):
+            raise bad(
+                "wah_level_indptr",
+                f"must end at the {len(views['wah_words'])}-word payload",
+            )
+    elif len(views["row_keys"]) != edges or len(views["row_weights"]) != edges:
         raise bad("row_keys", "must align with index_targets")
     expected_words = (edges * weight_bits + 63) // 64 + 1
     if len(views["weight_words"]) != expected_words:
@@ -820,28 +882,72 @@ def load_mmap(
     packed = PackedIntArray.from_words(
         views["weight_words"], edges, bits=weight_bits, copy=False
     )
-    ig = IndexGraph.from_storage(
-        n,
-        views["cover_ids"],
-        views["index_indptr"],
-        views["index_targets"],
-        packed,
-        weight_base,
-        keys=views["row_keys"],
-        weights64=views["row_weights"],
-    )
+    if storage == "wah":
+        from repro.core.rowstore import WahRowStore
+
+        store = WahRowStore(
+            views["cover_ids"],
+            n,
+            views["wah_row_indptr"],
+            views["wah_level_weights"],
+            views["wah_level_indptr"],
+            views["wah_words"],
+            size=edges,
+        )
+        ig = IndexGraph.from_storage(
+            n,
+            views["cover_ids"],
+            views["index_indptr"],
+            views["index_targets"],
+            packed,
+            weight_base,
+        ).use_storage("wah", store)
+    else:
+        ig = IndexGraph.from_storage(
+            n,
+            views["cover_ids"],
+            views["index_indptr"],
+            views["index_targets"],
+            packed,
+            weight_base,
+            keys=views["row_keys"],
+            weights64=views["row_weights"],
+        )
     if validate:
         ig.validate()
-        keys = views["row_keys"]
-        if len(keys) > 1 and not bool(np.all(keys[:-1] < keys[1:])):
-            raise bad("row_keys", "must be strictly ascending")
-        heads = np.repeat(views["cover_ids"], np.diff(views["index_indptr"]))
-        if not np.array_equal(keys, heads * np.int64(n) + views["index_targets"]):
-            raise bad("row_keys", "disagrees with the index CSR")
-        if not np.array_equal(
-            views["row_weights"], packed.as_numpy() + weight_base
-        ):
-            raise bad("row_weights", "disagrees with the packed weight words")
+        if storage == "wah":
+            # Decode every WAH row and check it round-trips the CSR: the
+            # compressed store must probe exactly the targets/weights the
+            # index declares (rows are target-sorted, like the CSR).
+            indptr = views["index_indptr"]
+            weights64 = packed.as_numpy() + weight_base
+            for r in range(len(cover_ids)):
+                t, w = ig.wah_store()._row_arrays(r)
+                lo, hi = int(indptr[r]), int(indptr[r + 1])
+                if not np.array_equal(t, views["index_targets"][lo:hi]):
+                    raise bad("wah_words", "disagrees with the index CSR")
+                if not np.array_equal(w, weights64[lo:hi]):
+                    raise bad(
+                        "wah_level_weights",
+                        "disagrees with the packed weight words",
+                    )
+        else:
+            keys = views["row_keys"]
+            if len(keys) > 1 and not bool(np.all(keys[:-1] < keys[1:])):
+                raise bad("row_keys", "must be strictly ascending")
+            heads = np.repeat(
+                views["cover_ids"], np.diff(views["index_indptr"])
+            )
+            if not np.array_equal(
+                keys, heads * np.int64(n) + views["index_targets"]
+            ):
+                raise bad("row_keys", "disagrees with the index CSR")
+            if not np.array_equal(
+                views["row_weights"], packed.as_numpy() + weight_base
+            ):
+                raise bad(
+                    "row_weights", "disagrees with the packed weight words"
+                )
     return KReachIndex.from_index_graph(
         g,
         k,

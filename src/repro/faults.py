@@ -32,6 +32,11 @@ Sites (see :data:`SITES` for the authoritative list):
     (:meth:`~repro.core.batch.KeyedRowStore.lookup`,
     :func:`~repro.core.batch.case4_bitset_join`); mode ``sleep`` delays
     them, turning fast tests into slow-consumer/deadline tests.
+``ingest.spill_write``
+    Fires in :func:`~repro.graph.ingest.ingest_edge_list` immediately
+    before a sorted run buffer is written to its spill file — the
+    external sort must leave no orphan run files behind when the write
+    raises or the process dies mid-spill.
 
 Arming
 ------
@@ -100,6 +105,7 @@ SITES = {
     "serve.worker_hang": "query-server worker, before computing a shard",
     "serve.worker_exit": "query-server worker, before computing a shard",
     "batch.kernel_slow": "head of the hot batch kernels",
+    "ingest.spill_write": "before an external-sort run spills to disk",
 }
 
 MODES = ("error", "exit", "hang", "sleep")

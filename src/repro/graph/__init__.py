@@ -6,6 +6,7 @@ everything the paper's index — and every comparator index — is built on.
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.digraph import DiGraph
+from repro.graph.ingest import IngestStats, ingest_edge_list, parse_edge_block
 from repro.graph.nx import from_networkx, to_networkx
 from repro.graph.scc import Condensation, condensation, strongly_connected_components
 from repro.graph.stats import GraphSummary, graph_h_index, shortest_path_stats, summarize
@@ -23,6 +24,9 @@ from repro.graph.traversal import (
 __all__ = [
     "DiGraph",
     "GraphBuilder",
+    "IngestStats",
+    "ingest_edge_list",
+    "parse_edge_block",
     "from_networkx",
     "to_networkx",
     "Condensation",

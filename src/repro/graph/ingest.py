@@ -1,0 +1,517 @@
+"""Streamed edge-list ingestion: file on disk → dual-CSR, bounded memory.
+
+The eager :func:`repro.graph.io.read_edge_list` path materializes every
+edge before :class:`~repro.graph.digraph.DiGraph` dedups and sorts them —
+fine for the synthetic benchmark graphs, fatal for SNAP-sized inputs
+("millions of users" dies at ingest, not at query time).  This module is
+the out-of-core alternative:
+
+1. **Chunked reader** — the file (plain or gzip, detected by magic) is
+   read in fixed-size blocks and parsed with pure numpy byte-vector
+   operations (:func:`parse_edge_block`): no python string per line, no
+   python int per id.  Comment (``#``/``%``) and blank lines are skipped;
+   columns past the first two are ignored, exactly like the eager reader.
+2. **External merge sort** — edges are fused into single int64 keys
+   ``(u << 32) | v`` (same lexicographic order as ``(u, v)``; ids must
+   fit int32, which the CSR substrate requires anyway) and buffered up
+   to a memory budget (``--ingest-mb`` / ``KREACH_INGEST_MB``, default
+   256).  Each full buffer is sorted, dedup'd, and spilled as a run file
+   inside a ``TemporaryDirectory`` the context manager owns — an
+   exception mid-merge leaves no orphan spill files behind.
+3. **Chunked k-way merge → CSR** — runs are merged in bounded blocks
+   (the per-block threshold is the minimum of the run chunks' tails, so
+   consecutive blocks are strictly increasing and cross-block dedup is
+   unnecessary) and accumulated directly into dual-CSR arrays, emitted
+   through ``DiGraph.from_csr(..., validate=False)``.  No edge dict, no
+   python-object edges, ever.
+
+The differential guarantee — pinned by ``tests/graph/test_ingest.py`` —
+is that for any input ``ingest_edge_list(path) == read_edge_list(path)``
+bit-for-bit (same dedup, same self-loop dropping, same universe size).
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro import faults
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "IngestStats",
+    "ingest_edge_list",
+    "parse_edge_block",
+    "open_edge_stream",
+    "DEFAULT_BUDGET_MB",
+]
+
+#: Fallback in-memory budget (MiB) when neither the ``memory_mb``
+#: argument nor the ``KREACH_INGEST_MB`` environment variable is set.
+DEFAULT_BUDGET_MB = 256
+
+#: Vertex ids must fit the fused-key upper half *and* the int32 CSR.
+_MAX_ID = (1 << 31) - 1
+
+#: Bytes read from the file per parser block.  The vectorized parser's
+#: transient temporaries run ~25x the block bytes, so the block — not
+#: the file — bounds the parse-stage peak; 1 MiB keeps that tens of MB
+#: while staying big enough to amortize per-block numpy overhead.
+_READ_BLOCK = 1 << 20
+
+# ASCII byte classes used by the vectorized parser.
+_WHITESPACE = np.zeros(256, dtype=bool)
+_WHITESPACE[[9, 10, 11, 12, 13, 32]] = True  # \t \n \v \f \r space
+_POW10 = 10 ** np.arange(19, dtype=np.int64)  # 10**18 < 2**63
+
+
+@dataclass
+class IngestStats:
+    """Observability for one :func:`ingest_edge_list` run.
+
+    Pass an instance via ``stats=`` and it is filled in place — the
+    bench harness uses it to report spill behaviour next to timings.
+    """
+
+    lines_parsed: int = 0  #: data lines seen (before dedup / loop drop)
+    edges: int = 0  #: unique non-loop edges in the final graph
+    n: int = 0  #: vertex-universe size of the final graph
+    spill_runs: int = 0  #: sorted run files written to the temp dir
+    max_buffered_bytes: int = 0  #: peak bytes held in the sort buffer
+    budget_bytes: int = 0  #: the configured buffer budget, in bytes
+
+
+# ----------------------------------------------------------------------
+# Vectorized parsing
+# ----------------------------------------------------------------------
+def parse_edge_block(
+    buf: np.ndarray | bytes,
+    *,
+    path: str | os.PathLike = "<memory>",
+    first_lineno: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Parse a block of edge-list text into ``(u, v)`` int64 arrays.
+
+    ``buf`` is raw ASCII bytes (a ``uint8`` array or ``bytes``) holding
+    whole lines — the caller is responsible for splitting the stream on
+    line boundaries (:func:`ingest_edge_list` carries partial tails
+    between blocks).  Blank lines and lines whose first visible byte is
+    ``#`` or ``%`` are skipped; each remaining line must start with two
+    non-negative integer tokens (extra columns are ignored).  Raises
+    :class:`ValueError` with ``path:lineno`` context on a line with
+    fewer than two tokens or a non-numeric leading token.
+    """
+    if isinstance(buf, (bytes, bytearray, memoryview)):
+        buf = np.frombuffer(buf, dtype=np.uint8)
+    if buf.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    # Allocation discipline: the streamed ingester's resident peak is
+    # this function's temporaries, so every full-length helper array is
+    # avoided (line ids come from binary search over newline positions,
+    # never a per-byte cumsum) or held in the narrowest dtype that fits
+    # a block, and freed the moment its last consumer has run.
+    idx_dt = np.int32 if buf.size < (1 << 31) else np.int64
+    nl_pos = np.flatnonzero(buf == 10)
+    visible = ~_WHITESPACE[buf]
+    vis_idx = np.flatnonzero(visible).astype(idx_dt, copy=False)
+    del visible
+    if vis_idx.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    # Line id of a visible byte = newlines strictly before it.
+    n_lines = int(nl_pos.size) + 1
+    line_of_vis = np.searchsorted(nl_pos, vis_idx).astype(idx_dt, copy=False)
+
+    # First visible byte of each non-blank line → comment-line mask.
+    first_lines, first_pos = np.unique(line_of_vis, return_index=True)
+    first_byte = buf[vis_idx[first_pos]]
+    is_comment = np.zeros(n_lines, dtype=bool)
+    is_comment[first_lines[(first_byte == 35) | (first_byte == 37)]] = True  # '#' '%'
+    if is_comment.any():
+        keep = ~is_comment[line_of_vis]
+        vis_idx = vis_idx[keep]
+        line_of_vis = line_of_vis[keep]
+        del keep
+        if vis_idx.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+    del first_lines, first_pos, first_byte, is_comment
+
+    # Tokenize: a token starts at a visible byte not preceded by one.
+    starts = np.empty(vis_idx.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(vis_idx[1:], vis_idx[:-1] + 1, out=starts[1:])
+    tok_of_vis = np.cumsum(starts, dtype=idx_dt)
+    tok_of_vis -= 1
+    start_pos = np.flatnonzero(starts)
+    del starts
+    tok_line = line_of_vis[start_pos]
+    del start_pos
+
+    # Rank of each token within its line; demand >= 2 tokens per line.
+    line_first_tok = np.zeros(n_lines, dtype=idx_dt)
+    uniq_lines, uniq_first = np.unique(tok_line, return_index=True)
+    line_first_tok[uniq_lines] = uniq_first
+    rank = np.arange(tok_line.size, dtype=idx_dt) - line_first_tok[tok_line]
+    tok_counts = np.bincount(tok_line, minlength=n_lines)
+    short = np.flatnonzero(tok_counts == 1)
+    del line_first_tok, uniq_lines, uniq_first, tok_counts
+    if short.size:
+        _bad_line(buf, nl_pos, int(short[0]), path, first_lineno, "expected 'u v'")
+
+    kept_tok = rank < 2
+    kept_of_vis = kept_tok[tok_of_vis]
+
+    # Digit values for the kept tokens only (extra columns are free
+    # text, so they are neither validated nor converted).
+    k_line = line_of_vis[kept_of_vis]
+    k_tok = tok_of_vis[kept_of_vis]
+    del line_of_vis, tok_of_vis
+    k_digits = buf[vis_idx[kept_of_vis]].astype(np.int16)
+    del vis_idx, kept_of_vis
+    k_digits -= 48
+    bad = (k_digits < 0) | (k_digits > 9)
+    if bad.any():
+        first_bad_line = int(k_line[np.flatnonzero(bad)[0]])
+        _bad_line(
+            buf, nl_pos, first_bad_line, path, first_lineno,
+            "expected a non-negative integer",
+        )
+    del bad
+
+    k_starts = np.flatnonzero(
+        np.diff(k_tok, prepend=k_tok[0] - 1) != 0
+    ).astype(idx_dt, copy=False)
+    lengths = np.diff(np.append(k_starts, k_tok.size))
+    del k_tok
+    if int(lengths.max()) > 18:
+        over = int(k_line[k_starts[int(np.argmax(lengths))]])
+        _bad_line(buf, nl_pos, over, path, first_lineno, "integer too large")
+    del k_line
+    # Digit place values, narrowest-first: per-digit token length (<= 18,
+    # int8) → power-of-ten exponent → one int64 product array, scaled in
+    # place and segment-summed per token.
+    within = np.arange(k_digits.size, dtype=idx_dt)
+    within -= np.repeat(k_starts, lengths)
+    exp = np.repeat(lengths.astype(np.int8), lengths) - 1 - within
+    del within
+    values = _POW10[exp]
+    del exp
+    values *= k_digits
+    del k_digits
+    values = np.add.reduceat(values, k_starts)
+
+    # Tokens arrive in byte order, so per line rank-0 precedes rank-1 and
+    # the two selections below stay aligned.
+    k_rank = rank[kept_tok]
+    return values[k_rank == 0], values[k_rank == 1]
+
+
+def _bad_line(
+    buf: np.ndarray,
+    nl_pos: np.ndarray,
+    line: int,
+    path: str | os.PathLike,
+    first_lineno: int,
+    why: str,
+) -> None:
+    start = int(nl_pos[line - 1]) + 1 if line > 0 else 0
+    end = int(nl_pos[line]) if line < nl_pos.size else buf.size
+    text = bytes(buf[start:end]).decode("utf-8", "replace").strip()
+    raise ValueError(f"{path}:{first_lineno + line}: {why}, got {text!r}")
+
+
+def open_edge_stream(path: str | os.PathLike):
+    """Open ``path`` for binary reading, transparently gunzipping.
+
+    Detection is by content (the ``1f 8b`` gzip magic), so a ``.gz``
+    suffix is honoured and a mislabelled plain file still works.
+    """
+    fh = open(path, "rb")
+    try:
+        magic = fh.read(2)
+        fh.seek(0)
+    except OSError:
+        fh.close()
+        raise
+    if magic == b"\x1f\x8b":
+        return gzip.GzipFile(fileobj=fh)
+    return fh
+
+
+class _ChunkParser:
+    """Feeds byte blocks to :func:`parse_edge_block`, carrying the
+    partial trailing line and the running line number between blocks."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = path
+        self._tail = b""
+        self._lineno = 1
+
+    def feed(self, data: bytes) -> tuple[np.ndarray, np.ndarray]:
+        data = self._tail + data
+        cut = data.rfind(b"\n") + 1
+        if cut == 0:
+            self._tail = data
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        block, self._tail = data[:cut], data[cut:]
+        u, v = parse_edge_block(block, path=self.path, first_lineno=self._lineno)
+        self._lineno += block.count(b"\n")
+        return u, v
+
+    def finish(self) -> tuple[np.ndarray, np.ndarray]:
+        block, self._tail = self._tail, b""
+        return parse_edge_block(block, path=self.path, first_lineno=self._lineno)
+
+
+# ----------------------------------------------------------------------
+# External merge sort on fused keys
+# ----------------------------------------------------------------------
+class _RunReader:
+    """Sequential chunked reader over one sorted spill-run file."""
+
+    __slots__ = ("_fh", "chunk", "pos", "_chunk_items")
+
+    def __init__(self, path: Path, chunk_items: int) -> None:
+        self._fh = open(path, "rb")
+        self._chunk_items = max(1, chunk_items)
+        self.chunk = np.empty(0, dtype=np.int64)
+        self.pos = 0
+        self._refill()
+
+    def _refill(self) -> None:
+        self.chunk = np.fromfile(self._fh, dtype=np.int64, count=self._chunk_items)
+        self.pos = 0
+        if self.chunk.size == 0:
+            self._fh.close()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.chunk.size == 0
+
+    def tail_key(self) -> int:
+        return int(self.chunk[-1])
+
+    def take_upto(self, threshold: int) -> np.ndarray:
+        """Consume and return this run's keys ``<= threshold``."""
+        end = int(np.searchsorted(self.chunk, threshold, side="right"))
+        out = self.chunk[self.pos : end]
+        self.pos = end
+        if self.pos >= self.chunk.size:
+            self._refill()
+        else:
+            self.chunk = self.chunk[self.pos :]
+            self.pos = 0
+        return out
+
+
+def _merge_runs(run_paths: list[Path], chunk_items: int):
+    """Yield strictly-increasing sorted+unique key blocks from the runs.
+
+    Each iteration picks ``threshold = min(tail of every current
+    chunk)``: all keys ``<= threshold`` anywhere in the runs are in the
+    current chunks (runs are sorted and dedup'd, so later chunks hold
+    strictly greater keys), which makes every block complete and the
+    block sequence strictly increasing — no cross-block dedup needed.
+    """
+    readers = [_RunReader(p, chunk_items) for p in run_paths]
+    readers = [r for r in readers if not r.exhausted]
+    while readers:
+        threshold = min(r.tail_key() for r in readers)
+        parts = [r.take_upto(threshold) for r in readers]
+        readers = [r for r in readers if not r.exhausted]
+        block = np.unique(np.concatenate(parts))
+        if block.size:
+            yield block
+
+
+class _CsrAccumulator:
+    """Accumulates sorted-unique fused-key blocks into dual-CSR arrays."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.out_counts = np.zeros(n, dtype=np.int64)
+        self.parts: list[np.ndarray] = []
+
+    def add(self, keys: np.ndarray) -> None:
+        u = (keys >> 32).astype(np.int64)
+        v = (keys & 0xFFFFFFFF).astype(np.int32)
+        uniq_u, counts = np.unique(u, return_counts=True)
+        self.out_counts[uniq_u] += counts
+        self.parts.append(v)
+
+    def build(self) -> DiGraph:
+        n = self.n
+        out_indices = (
+            np.concatenate(self.parts)
+            if self.parts
+            else np.empty(0, dtype=np.int32)
+        )
+        self.parts.clear()
+        out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self.out_counts, out=out_indptr[1:])
+        # In-CSR: edges arrive globally sorted by (u, v); a stable sort
+        # by v therefore yields (v, u) order, and the source of edge i
+        # in out-order is repeat(arange(n), out_counts)[i].
+        heads = np.repeat(
+            np.arange(n, dtype=np.int32), self.out_counts
+        )
+        order = np.argsort(out_indices, kind="stable")
+        in_indices = heads[order]
+        in_counts = np.bincount(out_indices, minlength=n)
+        in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(in_counts, out=in_indptr[1:])
+        return DiGraph.from_csr(
+            out_indptr,
+            out_indices,
+            in_indptr=in_indptr,
+            in_indices=in_indices,
+            validate=False,
+        )
+
+
+def _budget_bytes(memory_mb: float | None) -> int:
+    if memory_mb is None:
+        raw = os.environ.get("KREACH_INGEST_MB", "")
+        try:
+            memory_mb = float(raw) if raw else float(DEFAULT_BUDGET_MB)
+        except ValueError:
+            raise ValueError(
+                f"KREACH_INGEST_MB must be a number, got {raw!r}"
+            ) from None
+    if memory_mb <= 0:
+        raise ValueError(f"ingest memory budget must be positive, got {memory_mb}")
+    return max(1 << 16, int(memory_mb * (1 << 20)))
+
+
+def ingest_edge_list(
+    path: str | os.PathLike,
+    *,
+    n: int | None = None,
+    memory_mb: float | None = None,
+    tmp_dir: str | os.PathLike | None = None,
+    stats: IngestStats | None = None,
+) -> DiGraph:
+    """Stream an edge-list file into a :class:`DiGraph` under a memory cap.
+
+    Equivalent to :func:`repro.graph.io.read_edge_list` (same comment
+    handling, dedup, self-loop dropping, and universe sizing) but never
+    holds more than roughly ``memory_mb`` of unsorted edges: full sort
+    buffers spill to run files under a ``TemporaryDirectory`` (inside
+    ``tmp_dir`` when given) that is removed even when ingestion fails.
+
+    ``memory_mb`` defaults to ``KREACH_INGEST_MB`` or
+    :data:`DEFAULT_BUDGET_MB`.  ``n`` forces the vertex-universe size.
+    Pass an :class:`IngestStats` as ``stats`` to observe spill behaviour.
+    """
+    path = Path(path)
+    budget = _budget_bytes(memory_mb)
+    # The sort buffer gets half the budget: np.unique on spill needs a
+    # sorted copy of comparable size, so buffer + scratch ≈ budget.
+    buffer_cap = max(1 << 15, budget // 2)
+    # Keep single parsed blocks well under the cap too — ~12 bytes of
+    # text per edge become 8 bytes of key, so a text block smaller than
+    # half the cap cannot blow the buffer past it in one append.
+    read_block = min(_READ_BLOCK, max(1 << 14, buffer_cap // 2))
+    if stats is None:
+        stats = IngestStats()
+    stats.budget_bytes = budget
+
+    max_id = -1
+    buffered: list[np.ndarray] = []
+    buffered_bytes = 0
+    run_paths: list[Path] = []
+
+    def spill(tmp: Path) -> None:
+        nonlocal buffered_bytes
+        if not buffered:
+            return
+        run = np.unique(np.concatenate(buffered))
+        buffered.clear()
+        buffered_bytes = 0
+        run_path = tmp / f"run-{len(run_paths):05d}.keys"
+        if faults.ENABLED:
+            faults.fire("ingest.spill_write")
+        run.tofile(run_path)
+        run_paths.append(run_path)
+        stats.spill_runs += 1
+
+    with tempfile.TemporaryDirectory(
+        prefix="kreach-ingest-", dir=None if tmp_dir is None else str(tmp_dir)
+    ) as tmp_name:
+        tmp = Path(tmp_name)
+        parser = _ChunkParser(path)
+        with open_edge_stream(path) as fh:
+            while True:
+                data = fh.read(read_block)
+                if not data:
+                    break
+                u, v = parser.feed(data)
+                max_id, buffered_bytes = _buffer_edges(
+                    u, v, max_id, buffered, buffered_bytes, stats
+                )
+                if buffered_bytes >= buffer_cap:
+                    spill(tmp)
+        u, v = parser.finish()
+        max_id, buffered_bytes = _buffer_edges(
+            u, v, max_id, buffered, buffered_bytes, stats
+        )
+
+        size = n if n is not None else max_id + 1
+        if max_id >= size:
+            raise ValueError(
+                f"edge endpoint out of range [0, {size}): max={max_id}"
+            )
+        stats.n = size
+        acc = _CsrAccumulator(size)
+        if run_paths:
+            spill(tmp)  # the final partial buffer joins the merge
+            # Budget the merge too: every run gets an equal slice of
+            # half the budget (the other half covers the block concat).
+            chunk_items = max(
+                1024, buffer_cap // (8 * max(1, len(run_paths)))
+            )
+            for block in _merge_runs(run_paths, chunk_items):
+                acc.add(block)
+        elif buffered:
+            acc.add(np.unique(np.concatenate(buffered)))
+            buffered.clear()
+    g = acc.build()
+    stats.edges = g.m
+    return g
+
+
+def _buffer_edges(
+    u: np.ndarray,
+    v: np.ndarray,
+    max_id: int,
+    buffered: list[np.ndarray],
+    buffered_bytes: int,
+    stats: IngestStats,
+) -> tuple[int, int]:
+    """Fuse one parsed block into keys and append it to the sort buffer."""
+    if u.size == 0:
+        return max_id, buffered_bytes
+    stats.lines_parsed += int(u.size)
+    hi = int(max(u.max(), v.max()))
+    if hi > _MAX_ID:
+        raise ValueError(
+            f"vertex id {hi} exceeds the int32 CSR limit ({_MAX_ID})"
+        )
+    max_id = max(max_id, hi)
+    keep = u != v  # DiGraph drops self-loops; ids still count for n
+    keys = (u[keep] << 32) | v[keep]
+    if keys.size:
+        buffered.append(keys)
+        buffered_bytes += keys.nbytes
+        stats.max_buffered_bytes = max(stats.max_buffered_bytes, buffered_bytes)
+    return max_id, buffered_bytes

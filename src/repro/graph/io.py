@@ -2,8 +2,12 @@
 
 Two formats:
 
-* **Edge-list text** (`.txt` / `.el`): one ``u v`` pair per line, ``#``
-  comments allowed — the interchange format the original datasets ship in.
+* **Edge-list text** (`.txt` / `.el`, optionally gzipped): one ``u v``
+  pair per line, ``#``/``%`` comments allowed — the interchange format
+  the original datasets ship in.  Parsing is vectorized through the same
+  :func:`~repro.graph.ingest.parse_edge_block` helper the streamed
+  ingester uses; this eager reader stays as the small-graph differential
+  baseline for :func:`~repro.graph.ingest.ingest_edge_list`.
 * **NPZ binary** (`.npz`): the CSR arrays verbatim, loading in O(1) parses.
 
 Both round-trip exactly (up to edge dedup, which :class:`DiGraph` always
@@ -18,6 +22,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.graph.digraph import DiGraph
+from repro.graph.ingest import open_edge_stream, parse_edge_block
 
 __all__ = ["write_edge_list", "read_edge_list", "save_npz", "load_npz"]
 
@@ -33,27 +38,22 @@ def write_edge_list(g: DiGraph, path: str | os.PathLike, *, header: bool = True)
 
 
 def read_edge_list(path: str | os.PathLike, *, n: int | None = None) -> DiGraph:
-    """Read an edge-list text file.
+    """Read an edge-list text file (plain or gzip, detected by content).
 
-    Lines starting with ``#`` or ``%`` are comments.  ``n`` forces the
-    vertex-universe size (otherwise ``max id + 1``).
+    Lines starting with ``#`` or ``%`` are comments; blank lines are
+    skipped; columns past the first two are ignored.  ``n`` forces the
+    vertex-universe size (otherwise ``max id + 1``).  The whole file is
+    parsed in memory — for inputs that do not fit, use
+    :func:`~repro.graph.ingest.ingest_edge_list`.
     """
     path = Path(path)
-    edges: list[tuple[int, int]] = []
-    max_id = -1
-    with path.open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line or line.startswith(("#", "%")):
-                continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise ValueError(f"{path}:{lineno}: expected 'u v', got {line!r}")
-            u, v = int(parts[0]), int(parts[1])
-            edges.append((u, v))
-            max_id = max(max_id, u, v)
-    size = n if n is not None else max_id + 1
-    return DiGraph(size, edges)
+    with open_edge_stream(path) as fh:
+        data = fh.read()
+    u, v = parse_edge_block(data, path=path)
+    if u.size == 0:
+        return DiGraph(n if n is not None else 0)
+    size = n if n is not None else int(max(u.max(), v.max())) + 1
+    return DiGraph(size, np.column_stack([u, v]))
 
 
 def save_npz(g: DiGraph, path: str | os.PathLike) -> None:

@@ -117,6 +117,18 @@ class Condensation:
         """Whether SCC ``c`` is a single vertex."""
         return int(self.component_sizes[c]) == 1
 
+    def map_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        """Map an ``(m, 2)`` array of original-vertex pairs to SCC ids.
+
+        The vectorized query-translation step of
+        :class:`~repro.core.condensed.CondensedKReach`: both columns are
+        looked up through :attr:`component_of` in one gather.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pairs must have shape (m, 2)")
+        return self.component_of[pairs]
+
 
 def condensation(g: DiGraph) -> Condensation:
     """Condense every SCC of ``g`` into a super-vertex.

@@ -1,0 +1,130 @@
+"""SCC-condensation preprocessing tests.
+
+Semantics under test (documented on :class:`CondensedKReach`):
+
+* ``k=None`` — exact: condensing cannot change plain reachability, so
+  the wrapper must agree with a direct build and with the BFS oracle on
+  every pair of every graph, cyclic or not.
+* finite ``k`` — "SCC-hop" reachability: intra-SCC moves are free, only
+  boundary-crossing edges spend budget.  On a DAG every component is a
+  singleton, so this coincides with the direct index; on a cyclic graph
+  it is a superset (never a false negative vs the direct index) and must
+  equal a k-bounded BFS run on the condensation DAG.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CondensedKReach, KReachIndex
+from repro.core.condensed import CondensedKReach as CondensedKReachDirect
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    cycle_graph,
+    gnp_digraph,
+    random_dag,
+)
+from repro.graph.scc import condensation
+from tests.conftest import all_pairs, brute_force_khop, graph_corpus
+
+
+def cyclic_corpus():
+    return [
+        cycle_graph(5),
+        DiGraph(3, [(0, 1), (1, 0), (1, 2)]),
+        gnp_digraph(18, 0.15, seed=4),  # dense enough for a big SCC
+        gnp_digraph(30, 0.08, seed=5),
+        DiGraph(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)]),
+    ]
+
+
+class TestExactUnboundedSemantics:
+    def test_matches_direct_and_bfs_on_corpus(self):
+        for g in graph_corpus() + cyclic_corpus():
+            cond = CondensedKReach(g, None)
+            direct = KReachIndex(g, None)
+            for s, t in all_pairs(g):
+                expect = brute_force_khop(g, s, t, None)
+                assert cond.query(s, t) == expect, (g, s, t)
+                assert direct.query(s, t) == expect, (g, s, t)
+
+    def test_batch_matches_scalar(self):
+        g = gnp_digraph(40, 0.07, seed=6)
+        cond = CondensedKReach(g, None).prepare_batch()
+        pairs = np.random.default_rng(0).integers(0, g.n, size=(600, 2))
+        out = cond.query_batch(pairs)
+        for (s, t), got in zip(pairs.tolist(), out.tolist()):
+            assert got == cond.query(s, t)
+
+
+class TestFiniteKSemantics:
+    @pytest.mark.parametrize("k", [2, 6])
+    def test_equals_direct_on_dags(self, k):
+        for g in [random_dag(15, 40, seed=7), random_dag(25, 90, seed=8)]:
+            cond = CondensedKReach(g, k)
+            direct = KReachIndex(g, k)
+            for s, t in all_pairs(g):
+                assert cond.query(s, t) == direct.query(s, t), (s, t)
+
+    @pytest.mark.parametrize("k", [2, 6])
+    def test_superset_of_direct_on_cyclic(self, k):
+        for g in cyclic_corpus():
+            cond = CondensedKReach(g, k)
+            direct = KReachIndex(g, k)
+            for s, t in all_pairs(g):
+                if direct.query(s, t):
+                    assert cond.query(s, t), (s, t)
+
+    @pytest.mark.parametrize("k", [2, 6])
+    def test_scc_hop_oracle_on_cyclic(self, k):
+        # The wrapper's finite-k verdict is exactly k-reach over the
+        # condensation DAG on component ids.
+        for g in cyclic_corpus():
+            cond = CondensedKReach(g, k)
+            comp = cond.cond.component_of
+            for s, t in all_pairs(g):
+                expect = brute_force_khop(
+                    cond.cond.dag, int(comp[s]), int(comp[t]), k
+                )
+                assert cond.query(s, t) == expect, (s, t)
+
+    def test_same_component_is_always_reachable(self):
+        g = cycle_graph(7)
+        cond = CondensedKReach(g, 0)
+        assert cond.num_components == 1
+        for s, t in all_pairs(g):
+            assert cond.query(s, t)
+
+
+class TestWiring:
+    def test_reexported_from_core(self):
+        assert CondensedKReach is CondensedKReachDirect
+
+    def test_prebuilt_condensation_reused(self):
+        g = gnp_digraph(20, 0.1, seed=9)
+        c = condensation(g)
+        cond = CondensedKReach(g, None, cond=c)
+        assert cond.cond is c
+
+    def test_mismatched_condensation_rejected(self):
+        g = gnp_digraph(20, 0.1, seed=9)
+        other = condensation(gnp_digraph(10, 0.2, seed=10))
+        with pytest.raises(ValueError):
+            CondensedKReach(g, None, cond=other)
+
+    def test_kwargs_forwarded_to_index(self):
+        g = gnp_digraph(25, 0.1, seed=11)
+        cond = CondensedKReach(g, None, storage="wah")
+        assert cond.index.index_graph.storage == "wah"
+        direct = KReachIndex(g, None)
+        pairs = np.random.default_rng(1).integers(0, g.n, size=(300, 2))
+        assert np.array_equal(cond.query_batch(pairs), direct.query_batch(pairs))
+
+    def test_storage_bytes_counts_component_map(self):
+        g = gnp_digraph(30, 0.1, seed=12)
+        cond = CondensedKReach(g, 2)
+        assert cond.storage_bytes() >= cond.index.storage_bytes()
+
+    def test_query_out_of_range(self):
+        cond = CondensedKReach(gnp_digraph(5, 0.3, seed=13), 2)
+        with pytest.raises(IndexError):
+            cond.query(0, 99)

@@ -1,0 +1,201 @@
+"""Streamed external-sort ingest tests.
+
+The contract under test: :func:`~repro.graph.ingest.ingest_edge_list`
+must produce a :class:`DiGraph` bit-identical to the eager
+:func:`~repro.graph.io.read_edge_list` (which itself must match a
+hand-built ``DiGraph``) for every input shape — duplicate edges,
+self-loops, comments, gzip, block boundaries — while keeping its sort
+buffer within the configured budget and cleaning up every spill file,
+even when a fault fires mid-spill.
+"""
+
+import gzip
+import os
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.graph.digraph import DiGraph
+from repro.graph.ingest import IngestStats, ingest_edge_list, parse_edge_block
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def assert_same_graph(a: DiGraph, b: DiGraph) -> None:
+    assert a.n == b.n
+    assert np.array_equal(a.out_indptr, b.out_indptr)
+    assert np.array_equal(a.out_indices, b.out_indices)
+    assert np.array_equal(a.in_indptr, b.in_indptr)
+    assert np.array_equal(a.in_indices, b.in_indices)
+
+
+class TestParseEdgeBlock:
+    def test_basic(self):
+        u, v = parse_edge_block(b"0 1\n2 3\n")
+        assert u.tolist() == [0, 2] and v.tolist() == [1, 3]
+
+    def test_bytes_and_array_inputs_agree(self):
+        raw = b"10 20\n30 40\n"
+        ub, vb = parse_edge_block(raw)
+        ua, va = parse_edge_block(np.frombuffer(raw, dtype=np.uint8))
+        assert np.array_equal(ub, ua) and np.array_equal(vb, va)
+
+    def test_comments_blanks_and_extra_columns(self):
+        u, v = parse_edge_block(b"# header\n\n  % note\n1 2 weight=9\n 3\t4 \n")
+        assert u.tolist() == [1, 3]
+        assert v.tolist() == [2, 4]
+
+    def test_no_trailing_newline(self):
+        u, v = parse_edge_block(b"5 6\n7 8")
+        assert u.tolist() == [5, 7] and v.tolist() == [6, 8]
+
+    def test_single_token_line_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            parse_edge_block(b"0 1\n7\n", path="x.el")
+
+    def test_non_numeric_token_rejected(self):
+        with pytest.raises(ValueError, match="x.el:2.*non-negative"):
+            parse_edge_block(b"0 1\n-3 4\n", path="x.el")
+
+    def test_too_large_integer_rejected(self):
+        with pytest.raises(ValueError, match="too large"):
+            parse_edge_block(b"1 9999999999999999999\n")
+
+    def test_lineno_offset_in_errors(self):
+        with pytest.raises(ValueError, match="f:12"):
+            parse_edge_block(b"0 1\nbad bad\n", path="f", first_lineno=11)
+
+    def test_empty_and_blank_blocks(self):
+        for raw in (b"", b"\n\n", b"# only comments\n"):
+            u, v = parse_edge_block(raw)
+            assert u.size == 0 and v.size == 0
+
+    def test_18_digit_values_survive(self):
+        u, v = parse_edge_block(b"123456789012345678 1\n")
+        assert u.tolist() == [123456789012345678]
+
+
+class TestIngestDifferential:
+    def make_file(self, tmp_path, *, edges=4000, n=500, seed=0, gz=False):
+        rng = np.random.default_rng(seed)
+        e = rng.integers(0, n, size=(edges, 2))
+        e[:: max(1, edges // 7)] = e[0]  # duplicate edges
+        loops = rng.integers(0, n, size=max(2, edges // 50))
+        lines = ["# generated test file", "% second comment style", ""]
+        lines += [f"{a} {b}" for a, b in e.tolist()]
+        lines += [f"{x} {x}" for x in loops.tolist()]  # self-loops
+        payload = ("\n".join(lines) + "\n").encode()
+        path = tmp_path / ("edges.txt.gz" if gz else "edges.txt")
+        if gz:
+            path.write_bytes(gzip.compress(payload))
+        else:
+            path.write_bytes(payload)
+        return path, np.vstack([e, np.column_stack([loops, loops])])
+
+    def test_matches_eager_and_hand_built(self, tmp_path):
+        path, edges = self.make_file(tmp_path)
+        hand = DiGraph(int(edges.max()) + 1, edges)
+        eager = read_edge_list(path)
+        streamed = ingest_edge_list(path)
+        assert_same_graph(hand, eager)
+        assert_same_graph(eager, streamed)
+
+    def test_gzip_transparency(self, tmp_path):
+        plain, _ = self.make_file(tmp_path, seed=1)
+        gz, _ = self.make_file(tmp_path, seed=1, gz=True)
+        assert_same_graph(read_edge_list(gz), ingest_edge_list(gz))
+        assert_same_graph(ingest_edge_list(plain), ingest_edge_list(gz))
+
+    def test_multi_block_boundaries(self, tmp_path):
+        # A tight budget shrinks the read block to 16 KiB, so a ~130 KiB
+        # file crosses many block boundaries mid-line.
+        path, _ = self.make_file(tmp_path, edges=10_000, n=30_000, seed=2)
+        assert path.stat().st_size > 3 * (16 << 10)
+        streamed = ingest_edge_list(path, memory_mb=0.07)
+        assert_same_graph(read_edge_list(path), streamed)
+
+    def test_budget_forces_external_merge(self, tmp_path):
+        path, _ = self.make_file(tmp_path, edges=30_000, n=40_000, seed=3)
+        stats = IngestStats()
+        streamed = ingest_edge_list(path, memory_mb=0.07, stats=stats)
+        assert stats.spill_runs >= 3
+        assert 0 < stats.max_buffered_bytes <= stats.budget_bytes
+        assert stats.lines_parsed >= 30_000
+        assert stats.edges == streamed.out_indices.size
+        assert stats.n == streamed.n
+        assert_same_graph(read_edge_list(path), streamed)
+
+    def test_round_trip_with_write_edge_list(self, tmp_path):
+        g = DiGraph(40, np.random.default_rng(4).integers(0, 40, size=(200, 2)))
+        path = tmp_path / "g.el"
+        write_edge_list(g, path)
+        assert_same_graph(g, ingest_edge_list(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.el"
+        path.write_bytes(b"")
+        g = ingest_edge_list(path)
+        assert g.n == 0 and g.m == 0
+
+    def test_forced_n(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1\n")
+        assert ingest_edge_list(path, n=10).n == 10
+
+    def test_forced_n_out_of_range(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 99\n")
+        with pytest.raises(ValueError, match="out of range"):
+            ingest_edge_list(path, n=10)
+
+    def test_invalid_budget(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            ingest_edge_list(path, memory_mb=0)
+
+    def test_env_budget_honored(self, tmp_path, monkeypatch):
+        path, _ = self.make_file(tmp_path, edges=2000, n=300, seed=5)
+        monkeypatch.setenv("KREACH_INGEST_MB", "0.07")
+        stats = IngestStats()
+        streamed = ingest_edge_list(path, stats=stats)
+        assert stats.budget_bytes == int(0.07 * (1 << 20))
+        assert_same_graph(read_edge_list(path), streamed)
+
+
+class TestSpillCleanup:
+    def test_spill_files_removed_on_success(self, tmp_path):
+        path = tmp_path / "g.el"
+        rng = np.random.default_rng(6)
+        e = rng.integers(0, 40_000, size=(30_000, 2))
+        path.write_text("\n".join(f"{a} {b}" for a, b in e.tolist()) + "\n")
+        spill_dir = tmp_path / "spill"
+        spill_dir.mkdir()
+        stats = IngestStats()
+        ingest_edge_list(path, memory_mb=0.07, tmp_dir=spill_dir, stats=stats)
+        assert stats.spill_runs >= 3
+        assert os.listdir(spill_dir) == []
+
+    def test_spill_files_removed_on_injected_fault(self, tmp_path):
+        path = tmp_path / "g.el"
+        rng = np.random.default_rng(7)
+        e = rng.integers(0, 40_000, size=(30_000, 2))
+        path.write_text("\n".join(f"{a} {b}" for a, b in e.tolist()) + "\n")
+        spill_dir = tmp_path / "spill"
+        spill_dir.mkdir()
+        with faults.inject("ingest.spill_write", "error"):
+            with pytest.raises(faults.FaultInjected):
+                ingest_edge_list(path, memory_mb=0.07, tmp_dir=spill_dir)
+        assert os.listdir(spill_dir) == []
+
+    def test_parse_error_cleans_up(self, tmp_path):
+        path = tmp_path / "g.el"
+        rng = np.random.default_rng(8)
+        e = rng.integers(0, 40_000, size=(30_000, 2))
+        body = "\n".join(f"{a} {b}" for a, b in e.tolist())
+        path.write_text(body + "\nBROKEN LINE HERE x\n")
+        spill_dir = tmp_path / "spill"
+        spill_dir.mkdir()
+        with pytest.raises(ValueError, match="non-negative"):
+            ingest_edge_list(path, memory_mb=0.07, tmp_dir=spill_dir)
+        assert os.listdir(spill_dir) == []
